@@ -1,0 +1,75 @@
+"""Benchmarks of the DESIGN.md ablations.
+
+* capacitance model choice (FDM vs compact vs compact3d),
+* linear C(p) model accuracy,
+* optimizer quality/cost,
+* the value of inversions (the MOS-effect half of the technique).
+"""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.common import format_table
+
+
+def test_ablation_capacitance_models(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: ablations.capacitance_models(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Ablation - extraction model", rows))
+    for row in rows:
+        assert row.values["optimal"] >= row.values["sawtooth"] - 0.01
+
+
+def test_ablation_linear_capmodel(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: ablations.linear_capmodel_error(fast=fast),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table("Ablation - Eq. 6/7 linear model NRMSE", rows))
+    for row in rows:
+        assert row.values["regr NRMSE"] < 0.05
+
+
+def test_ablation_optimizers(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: ablations.optimizers(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Ablation - optimizers", rows, unit="raw"))
+    by_label = {r.label: r.values for r in rows}
+    assert by_label["sim. annealing"]["gap"] < 0.02
+    # Branch and bound is certified exact and must match enumeration.
+    assert by_label["branch & bound"]["power [fF]"] == pytest.approx(
+        by_label["exhaustive (no inv)"]["power [fF]"], rel=1e-9
+    )
+    assert (by_label["branch & bound"]["evals"]
+            < by_label["exhaustive (no inv)"]["evals"])
+
+
+def test_ablation_inversions(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: ablations.inversions(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Ablation - value of inversions", rows))
+    by_label = {r.label: r.values for r in rows}
+    assert (by_label["with inversions"]["reduction"]
+            >= by_label["without inversions"]["reduction"] - 1e-9)
+
+
+def test_ablation_variation_robustness(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: ablations.variation_robustness(fast=fast),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table("Ablation - robustness under process variation", rows))
+    by_label = {r.label: r.values for r in rows}
+    optimal = by_label["optimal (nominal)"]
+    # The frozen design-time optimum must keep most of its gain and leave
+    # little on the table vs per-sample re-optimization.
+    assert optimal["worst"] > 0.5 * optimal["nominal"]
+    assert optimal["regret"] < 0.02

@@ -1,0 +1,19 @@
+"""Benchmark/reproduction of Fig. 2 (sequential streams, optimal vs Spiral).
+
+Prints the reduction table the paper plots; the benchmark time covers the
+full sweep (stream synthesis, statistics, annealing, baselines).
+"""
+
+from repro.experiments import fig2
+from repro.experiments.common import format_table
+
+
+def test_fig2(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: fig2.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Fig. 2 - P_red vs worst-case random assignment", rows))
+    assert rows
+    # Paper shape: the reduction shrinks as the branch probability rises.
+    assert rows[0].values["opt 4x4"] > rows[-1].values["opt 4x4"]

@@ -1,0 +1,19 @@
+"""Benchmark/reproduction of Fig. 3 (Gaussian streams, sigma/rho sweep)."""
+
+from repro.experiments import fig3
+from repro.experiments.common import format_table
+
+
+def test_fig3(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: fig3.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Fig. 3 - P_red vs mean random assignment, 16 b Gaussian on 4x4",
+        rows,
+    ))
+    # Paper shape: Sawtooth near-optimal at rho <= 0, Spiral not.
+    zero = [r for r in rows if r.label.startswith("rho=+0.0")]
+    assert zero
+    assert all(r.values["sawtooth"] > r.values["spiral"] for r in zero)

@@ -1,0 +1,22 @@
+"""Benchmark/reproduction of Fig. 4 (image-sensor / VSoC streams)."""
+
+from repro.experiments import fig4
+from repro.experiments.common import format_table
+
+
+def test_fig4(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: fig4.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Fig. 4 - P_red vs mean random assignment, image-sensor streams",
+        rows,
+    ))
+    values = {r.label: r.values for r in rows}
+    # Paper shape: the optimal assignment never loses to the Spiral, and
+    # multiplexing shrinks the Spiral's gain.
+    for label, row in values.items():
+        assert row["optimal"] >= row["spiral"] - 0.01, label
+    assert (values["RGB par. 4x8 r=1um"]["spiral"]
+            > values["RGB mux. 3x3 r=1um"]["spiral"])

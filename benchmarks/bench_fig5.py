@@ -1,0 +1,21 @@
+"""Benchmark/reproduction of Fig. 5 (MEMS sensor streams)."""
+
+from repro.experiments import fig5
+from repro.experiments.common import format_table
+
+
+def test_fig5(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: fig5.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Fig. 5 - P_red vs mean random assignment, MEMS streams on 4x4",
+        rows,
+    ))
+    values = {r.label: r.values for r in rows}
+    # Paper shape: Spiral wins on the unsigned RMS streams, Sawtooth on the
+    # interleaved (normally distributed) streams.
+    for sensor in ("Acc", "Gyr", "Mag"):
+        assert values[f"{sensor} RMS"]["spiral"] > values[f"{sensor} RMS"]["sawtooth"]
+        assert values[f"{sensor} XYZ"]["sawtooth"] > values[f"{sensor} XYZ"]["spiral"]

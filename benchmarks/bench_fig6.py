@@ -1,0 +1,29 @@
+"""Benchmark/reproduction of Fig. 6 (circuit-level power with codings)."""
+
+from repro.experiments import fig6
+from repro.experiments.common import format_table
+
+
+def test_fig6(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: fig6.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Fig. 6 - TSV power incl. drivers and leakage [mW], 32 b/cycle",
+        rows, unit="mW",
+    ))
+    print()
+    print(format_table(
+        "Fig. 6 - reduction vs plain transmission", fig6.reductions(rows)
+    ))
+    values = {r.label: r.values for r in rows}
+    sensor_mux = values["Sensor Mux. (16b, 4x4)"]
+    rgb = values["RGB Mux.+1R (8b, 3x3)"]
+    # Paper shape: optimal always helps; the codings help most when
+    # combined with the assignment (XNOR trick).
+    assert sensor_mux["gray+opt"] < sensor_mux["gray"] < sensor_mux["plain"]
+    assert rgb["corr+opt"] < rgb["corr"] < rgb["plain"]
+    assert values["Coded 7b+flag (3x3)"]["optimal"] < values[
+        "Coded 7b+flag (3x3)"
+    ]["plain"]

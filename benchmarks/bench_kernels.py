@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+These time the pieces the figure sweeps are built from — capacitance
+extraction, power evaluation, annealing, statistics, the event-based energy
+model and the transient engine — with enough rounds for stable medians.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.driver import DriverModel
+from repro.circuit.energy import EnergyModel
+from repro.circuit.transient import TransientSolver
+from repro.core.assignment import SignedPermutation
+from repro.core.optimize import simulated_annealing
+from repro.core.power import PowerModel
+from repro.datagen.gaussian import gaussian_bit_stream
+from repro.stats.switching import BitStatistics
+from repro.tsv.arraycap import CompactCapacitanceModel
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.fdm import FDMFieldSolver
+from repro.tsv.geometry import TSVArrayGeometry
+from repro.tsv.rlc import build_array_netlist
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return TSVArrayGeometry(rows=4, cols=4, pitch=8e-6, radius=2e-6)
+
+
+@pytest.fixture(scope="module")
+def bits():
+    return gaussian_bit_stream(
+        20000, 16, sigma=256.0, rho=0.5, rng=np.random.default_rng(0)
+    )
+
+
+@pytest.fixture(scope="module")
+def model(geometry, bits):
+    cap = CapacitanceExtractor(geometry, method="compact3d").extract()
+    return PowerModel(BitStatistics.from_stream(bits), cap)
+
+
+def test_compact_extraction(benchmark, geometry):
+    compact = CompactCapacitanceModel(geometry)
+    probs = np.random.default_rng(0).uniform(0.0, 1.0, geometry.n_tsvs)
+    benchmark(compact.capacitance_matrix, probs)
+
+
+def test_fdm_extraction_coarse(benchmark, geometry):
+    def extract():
+        return FDMFieldSolver(
+            geometry, resolution=0.4e-6, margin=2 * geometry.pitch
+        ).capacitance_matrix()
+
+    benchmark.pedantic(extract, rounds=3, iterations=1)
+
+
+def test_bit_statistics(benchmark, bits):
+    benchmark(BitStatistics.from_stream, bits)
+
+
+def test_power_evaluation(benchmark, model):
+    assignment = SignedPermutation.random(
+        16, np.random.default_rng(1), with_inversions=True
+    )
+    benchmark(model.power, assignment)
+
+
+def test_simulated_annealing(benchmark, model):
+    benchmark.pedantic(
+        lambda: simulated_annealing(
+            model.power, 16, rng=np.random.default_rng(2),
+            steps_per_temperature=100,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_event_energy_model(benchmark, geometry, bits):
+    cap = CapacitanceExtractor(geometry, method="compact3d").extract()
+    energy = EnergyModel(cap, driver=DriverModel())
+    benchmark(energy.cycle_energies, bits)
+
+
+def test_transient_two_line_cycle(benchmark):
+    geometry = TSVArrayGeometry(rows=1, cols=2, pitch=8e-6, radius=2e-6)
+    cap = CapacitanceExtractor(geometry, method="compact").extract()
+    stream = (np.random.default_rng(3).random((10, 2)) < 0.5).astype(np.uint8)
+    cycle = 1.0 / 3e9
+
+    def run():
+        netlist = build_array_netlist(
+            geometry, cap, stream, DriverModel(), cycle
+        )
+        solver = TransientSolver(netlist, timestep=cycle / 100)
+        return solver.run(len(stream) * cycle).total_supply_energy()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

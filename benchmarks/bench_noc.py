@@ -1,0 +1,22 @@
+"""Benchmark/case study: the assignment across a whole 3-D NoC.
+
+Network-level version of the paper's Sec. 7 NoC argument: per-link invert
+coding costs a TSV and codec per link; the bit-to-TSV assignment is free
+and competitive or better.
+"""
+
+from repro.experiments import noc_case_study
+from repro.experiments.common import format_table
+
+
+def test_noc_case_study(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: noc_case_study.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "NoC case study - vertical-link power reduction", rows, unit="raw"
+    ))
+    for row in rows:
+        assert row.values["assigned %"] > 0.0, row.label
+        assert row.values["both %"] > row.values["coded %"], row.label

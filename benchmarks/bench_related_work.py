@@ -1,0 +1,32 @@
+"""Benchmark/reproduction of the intro's related-work argument:
+crosstalk-avoidance coding improves SI but raises the TSV power."""
+
+from repro.experiments import related_work
+from repro.experiments.common import format_table
+
+
+def test_related_work(benchmark, fast):
+    rows = benchmark.pedantic(
+        lambda: related_work.run(fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        "Related work - LAT CAC vs bit assignment (8-bit payload)",
+        rows, unit="raw",
+    ))
+    values = {r.label: r.values for r in rows}
+    # The paper's claims: CAC lowers the SI metrics but costs power and
+    # TSVs; the assignment lowers power at zero cost.
+    assert values["LAT-CAC 2x(3x3)"]["peak noise [V]"] < values["plain 3x3"][
+        "peak noise [V]"
+    ]
+    assert values["LAT-CAC 2x(3x3)"]["max C_eff [fF]"] < values["plain 3x3"][
+        "max C_eff [fF]"
+    ]
+    assert values["LAT-CAC 2x(3x3)"]["power [mW]"] > values["plain 3x3"][
+        "power [mW]"
+    ]
+    assert values["assignment 3x3"]["power [mW]"] < values["plain 3x3"][
+        "power [mW]"
+    ]
+    assert values["assignment 3x3"]["TSVs"] == values["plain 3x3"]["TSVs"]

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (a
+figure or a Sec. 3/ablation table) and prints the resulting table, so a
+``pytest benchmarks/ --benchmark-only`` run doubles as the full experiment
+reproduction.
+
+By default the benchmarks run the *fast* parameterizations (shrunken sweeps
+and streams) so the whole suite finishes in a few minutes. Set
+``REPRO_BENCH_FULL=1`` to run the paper-scale versions.
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def fast() -> bool:
+    """True when the shrunken (default) parameterizations should be used."""
+    return not full_mode()

@@ -1,0 +1,66 @@
+"""Delay-budget example: trading power against worst-case crosstalk delay.
+
+The power-optimal assignment may park anti-correlated bit pairs on
+strongly coupled TSVs — good for average power (the inversions fix the
+sign), but the *worst-case* transition then sees 2x-Miller effective
+capacitances and the link slows down. ``repro.core.constrained`` optimizes
+power under an explicit Elmore-delay bound; this script sweeps the bound
+and prints the resulting power/delay trade-off curve for an anti-correlated
+DSP stream.
+
+Run:  python examples/delay_budget.py
+"""
+
+import numpy as np
+
+from repro.core.constrained import (
+    DelayModel,
+    delay_constrained_annealing,
+    pairwise_miller_bounds,
+)
+from repro.core.power import PowerModel
+from repro.datagen.gaussian import gaussian_bit_stream
+from repro.stats.switching import BitStatistics
+from repro.tsv import CapacitanceExtractor, TSVArrayGeometry
+
+
+def main() -> None:
+    geometry = TSVArrayGeometry.large_2018(4, 4)
+    cap = CapacitanceExtractor(geometry, method="compact3d").extract()
+    rng = np.random.default_rng(9)
+    # Anti-correlated stream: lots of opposite MSB transitions.
+    bits = gaussian_bit_stream(10000, 16, sigma=512.0, rho=-0.6, rng=rng)
+    stats = BitStatistics.from_stream(bits)
+
+    power_model = PowerModel(stats, cap)
+    delay_model = DelayModel(geometry, cap, pairwise_miller_bounds(bits))
+
+    unconstrained = delay_constrained_annealing(
+        stats, delay_model, power_model, delay_bound=1.0,
+        rng=np.random.default_rng(0), steps_per_temperature=200,
+    )
+    d0 = unconstrained.delay
+    print(f"power-optimal assignment: P_n = "
+          f"{unconstrained.power * 1e15:6.2f} fF, worst Elmore delay = "
+          f"{d0 * 1e12:5.1f} ps\n")
+
+    print("tightening the delay budget:")
+    print(f"  {'bound [ps]':>10}  {'delay [ps]':>10}  {'P_n [fF]':>9}  "
+          f"{'power cost':>10}  feasible")
+    for factor in (1.00, 0.98, 0.96, 0.94, 0.92):
+        bound = d0 * factor
+        result = delay_constrained_annealing(
+            stats, delay_model, power_model, delay_bound=bound,
+            rng=np.random.default_rng(0), steps_per_temperature=200,
+        )
+        cost = result.power / unconstrained.power - 1.0
+        print(f"  {bound * 1e12:10.1f}  {result.delay * 1e12:10.1f}  "
+              f"{result.power * 1e15:9.2f}  {cost * 100:9.2f} %  "
+              f"{result.feasible}")
+
+    print("\nEvery picosecond shaved off the worst-case transition costs")
+    print("a little average power - the knob is now explicit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""3-D NoC example: reusing a planar link code on a TSV hop (paper Sec. 7).
+
+In a 3-D network-on-chip, flits are coded once for the long planar links
+(here: the coupling-driven invert code of the paper's ref [24]) and the
+same coded stream then crosses dies through a 3x3 TSV array. The code is
+tuned to *metal-wire* physics, so it is not ideal for TSVs — but the
+bit-to-TSV assignment is free, and the paper shows it recovers a double-
+digit reduction even on already-coded random traffic.
+
+The script encodes random flits, verifies the decode round-trip, and
+compares the TSV power of a natural wiring against the optimal assignment.
+
+Run:  python examples/noc_coded_link.py
+"""
+
+import numpy as np
+
+from repro.coding.businvert import (
+    coded_bit_stream,
+    coupling_invert_decode,
+    coupling_invert_encode,
+)
+from repro.datagen.random_stream import uniform_random_words
+from repro.experiments.common import circuit_power_mw, optimize_for_stream
+from repro.stats.switching import BitStatistics
+from repro.tsv import TSVArrayGeometry
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    geometry = TSVArrayGeometry(rows=3, cols=3, pitch=4e-6, radius=1e-6)
+
+    # 7-bit random flit payloads through the planar coupling-invert code.
+    payload = uniform_random_words(30000, 7, rng)
+    coded, flags = coupling_invert_encode(payload, 7)
+    decoded = coupling_invert_decode(coded, flags, 7)
+    assert (decoded == payload).all(), "decode round-trip failed"
+    print(f"Encoded {len(payload)} flits; "
+          f"{flags.mean() * 100:.1f} % transmitted inverted; "
+          "round-trip verified.")
+
+    # Physical link: 7 data lines + invert flag + a packet flag that is set
+    # with probability 0.01 % (almost stable at 0) -> 9 lines on a 3x3.
+    link = coded_bit_stream(coded, flags, 7)
+    packet_flag = (rng.random(len(link)) < 1e-4).astype(np.uint8)
+    lines = np.concatenate([link, packet_flag[:, None]], axis=1)
+
+    stats = BitStatistics.from_stream(lines)
+    assignment = optimize_for_stream(stats, geometry, cap_method="compact3d")
+
+    plain_mw = circuit_power_mw(
+        lines, geometry, payload_bits=7, cap_method="compact3d"
+    )
+    optimal_mw = circuit_power_mw(
+        lines, geometry, assignment=assignment, payload_bits=7,
+        cap_method="compact3d",
+    )
+    print(f"\nTSV power (3 GHz, scaled to 32 b payload per cycle):")
+    print(f"  natural wiring     : {plain_mw:6.3f} mW")
+    print(f"  optimal assignment : {optimal_mw:6.3f} mW "
+          f"(-{(1 - optimal_mw / plain_mw) * 100:.1f} %)")
+
+    print("\nWhat the optimizer did with the special lines:")
+    for bit, name in ((7, "invert flag"), (8, "packet flag")):
+        line = assignment.line_of_bit[bit]
+        row, col = geometry.row_col(line)
+        state = "inverted" if assignment.inverted[bit] else "as-is"
+        print(f"  {name:11s} -> TSV ({row}, {col}), {state}")
+
+
+if __name__ == "__main__":
+    main()

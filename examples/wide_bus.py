@@ -1,0 +1,63 @@
+"""Wide-bus example: splitting a 32-bit link across two TSV bundles.
+
+Modern 3-D links are wider than a single TSV array. The per-array
+optimization is the paper's contribution; the *bundle-level* question —
+which bits should travel together — is the extra layer
+``repro.core.partition`` adds. This script carries two independent 16-bit
+DSP words on one 32-bit bus over two 4x4 arrays and compares partitioning
+strategies:
+
+* ``interleaved``  — bits scattered round-robin (what a naive router does),
+* ``contiguous``   — bus order,
+* ``correlation``  — clustered so correlated bits share an array, where the
+  assignment can exploit their coupling.
+
+Run:  python examples/wide_bus.py
+"""
+
+import numpy as np
+
+from repro.core.partition import optimize_partitioned
+from repro.datagen.gaussian import gaussian_bit_stream
+from repro.tsv import TSVArrayGeometry
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    # Two independent, strongly structured 16-bit channels scrambled onto a
+    # 32-bit bus in an arbitrary wire order - a realistic mess where no
+    # naive split matches the channels.
+    a = gaussian_bit_stream(12000, 16, sigma=256.0, rho=0.8, rng=rng)
+    b = gaussian_bit_stream(12000, 16, sigma=256.0, rho=0.8, rng=rng)
+    scramble = np.random.default_rng(99).permutation(32)
+    bus = np.concatenate([a, b], axis=1)[:, scramble]
+    channel_of_bus_bit = ["A" if k < 16 else "B" for k in scramble]
+
+    geometries = [TSVArrayGeometry.large_2018(4, 4) for _ in range(2)]
+
+    print("32-bit bus over two 4x4 TSV bundles, optimal per-array "
+          "assignment:\n")
+    results = {}
+    for strategy in ("interleaved", "contiguous", "correlation"):
+        report = optimize_partitioned(
+            bus, geometries, strategy=strategy,
+            cap_method="compact3d", baseline_samples=80,
+            rng=np.random.default_rng(0),
+        )
+        results[strategy] = report
+        print(f"  {strategy:12s}: total P_n = "
+              f"{report.total_power * 1e15:7.2f} fF, reduction vs random "
+              f"wiring = {report.reduction_vs_random * 100:5.2f} %")
+
+    best = results["correlation"]
+    print("\nCorrelation clustering per bundle (channel of each bus bit):")
+    for k, group in enumerate(best.groups):
+        channels = "".join(channel_of_bus_bit[bit] for bit in group)
+        print(f"  bundle {k}: {channels}")
+    print("\nThe correlated MSB clusters of each channel end up in one")
+    print("bundle, where the per-array optimizer can exploit their")
+    print("coupling; the uncorrelated LSB leftovers fill the gaps.")
+
+
+if __name__ == "__main__":
+    main()

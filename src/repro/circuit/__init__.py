@@ -1,0 +1,52 @@
+"""Circuit-level substrate for the Sec. 7 validation experiments.
+
+The paper validates its power model with Spectre transient simulations of
+full 3pi-RLC TSV networks driven by PTM 22 nm drivers. This package replaces
+that flow:
+
+``netlist``
+    Linear(ized) circuit description: R, L, C, sources.
+``mna``
+    Modified nodal analysis assembly (stamps).
+``transient``
+    Trapezoidal transient integrator with supply-energy probes.
+``driver``
+    A switch-level CMOS driver model (on-resistance, input capacitance,
+    leakage) with PTM-22nm-like defaults.
+``energy``
+    Fast event-based supply-energy model over whole bit streams, consistent
+    with ``P_n = <T, C>`` and cross-checked against the transient engine in
+    the tests.
+``ac``
+    Frequency-domain (phasor) solves of the same MNA system: transfer
+    functions, input impedance, bandwidth — and the pi-ladder convergence
+    ablation.
+"""
+
+from repro.circuit.ac import ACResult, ACSolver
+from repro.circuit.netlist import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.transient import TransientResult, TransientSolver
+from repro.circuit.driver import DriverModel
+from repro.circuit.energy import EnergyModel
+
+__all__ = [
+    "ACResult",
+    "ACSolver",
+    "Capacitor",
+    "CurrentSource",
+    "Inductor",
+    "Netlist",
+    "Resistor",
+    "VoltageSource",
+    "TransientResult",
+    "TransientSolver",
+    "DriverModel",
+    "EnergyModel",
+]

@@ -1,0 +1,104 @@
+"""AC small-signal analysis of MNA systems.
+
+Complements the transient engine with frequency-domain solves of the same
+descriptor system: at angular frequency ``w`` the phasor unknowns satisfy
+
+``(A + j w E) X = S``
+
+with the matrices of :mod:`repro.circuit.mna`. Used to characterize TSV
+channels (transfer function, input impedance, bandwidth) and to justify the
+paper's 3pi ladder: the segment-count ablation shows where a single lumped
+pi stops being accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.mna import MNASystem, assemble
+from repro.circuit.netlist import Netlist, Node, VoltageSource, evaluate_waveform
+
+
+@dataclass
+class ACResult:
+    """Phasor solution over a frequency grid."""
+
+    frequencies: np.ndarray
+    states: np.ndarray  # (n_freqs, n_unknowns), complex
+    system: MNASystem
+    netlist: Netlist
+
+    def voltage(self, node: Node) -> np.ndarray:
+        """Complex node voltage phasor per frequency."""
+        return self.states[:, self.system.voltage_index(node)]
+
+    def magnitude_db(self, node: Node) -> np.ndarray:
+        """Voltage magnitude in dB (re 1 V source)."""
+        return 20.0 * np.log10(np.maximum(np.abs(self.voltage(node)), 1e-30))
+
+    def source_current(self, name: str) -> np.ndarray:
+        """Complex current phasor through the named source (into plus)."""
+        for pos, comp in enumerate(self.netlist.components):
+            if isinstance(comp, VoltageSource) and comp.name == name:
+                return self.states[:, self.system.vsource_index[pos]]
+        raise KeyError(f"no voltage source named {name!r}")
+
+    def input_impedance(self, name: str) -> np.ndarray:
+        """Impedance seen by the named (1 V phasor) source [Ohm]."""
+        current_out = -self.source_current(name)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = 1.0 / current_out
+        return z
+
+    def bandwidth_3db(self, node: Node) -> float:
+        """First frequency where the node magnitude drops 3 dB below its
+        lowest-frequency value [Hz]; inf if it never does on the grid."""
+        mag = self.magnitude_db(node)
+        threshold = mag[0] - 3.0
+        below = np.flatnonzero(mag < threshold)
+        if below.size == 0:
+            return float("inf")
+        return float(self.frequencies[below[0]])
+
+
+class ACSolver:
+    """Frequency sweep of a netlist with every source as a unit phasor.
+
+    All voltage sources are driven with their *magnitude at t = 0* as the
+    phasor amplitude (constant-waveform sources keep their value, callables
+    are evaluated at 0); for a single-input transfer function build the
+    netlist with one 1 V source.
+    """
+
+    def __init__(self, netlist: Netlist, gmin: float = 1e-12) -> None:
+        self.netlist = netlist
+        self.system = assemble(netlist)
+        a = self.system.a_matrix.copy()
+        a[: self.system.n_nodes, : self.system.n_nodes] += gmin * np.eye(
+            self.system.n_nodes
+        )
+        self._a = a
+        self._e = self.system.e_matrix
+        self._s = self.system.source(0.0).astype(complex)
+
+    def sweep(self, frequencies: Sequence[float]) -> ACResult:
+        """Solve the phasor system at each frequency [Hz]."""
+        frequencies = np.asarray(frequencies, dtype=float)
+        if frequencies.ndim != 1 or frequencies.size == 0:
+            raise ValueError("frequencies must be a non-empty 1-D sequence")
+        if (frequencies < 0.0).any():
+            raise ValueError("frequencies must be non-negative")
+        states = np.empty((frequencies.size, self.system.size), dtype=complex)
+        for k, freq in enumerate(frequencies):
+            omega = 2.0 * np.pi * freq
+            matrix = self._a + 1j * omega * self._e
+            states[k] = np.linalg.solve(matrix, self._s)
+        return ACResult(
+            frequencies=frequencies,
+            states=states,
+            system=self.system,
+            netlist=self.netlist,
+        )

@@ -1,0 +1,157 @@
+"""Linear circuit description (netlist) for the transient engine.
+
+Nodes are arbitrary hashable names; ``0`` (the integer) is ground. Voltage
+sources take either a constant value or a waveform callable ``v(t)``; the
+same holds for current sources. Time-varying *resistors* are deliberately
+not supported — the driver model represents switching CMOS stages as
+waveform voltage sources behind a fixed on-resistance, which keeps the MNA
+system matrix constant and lets the integrator factorize it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Union
+
+Node = Hashable
+Waveform = Union[float, Callable[[float], float]]
+
+GROUND: Node = 0
+
+
+def evaluate_waveform(waveform: Waveform, t: float) -> float:
+    """Value of a constant-or-callable waveform at time ``t``."""
+    if callable(waveform):
+        return float(waveform(t))
+    return float(waveform)
+
+
+@dataclass(frozen=True)
+class Resistor:
+    node_a: Node
+    node_b: Node
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError(f"resistance must be positive, got {self.resistance}")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    node_a: Node
+    node_b: Node
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ValueError(f"capacitance must be positive, got {self.capacitance}")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    node_a: Node
+    node_b: Node
+    inductance: float
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0.0:
+            raise ValueError(f"inductance must be positive, got {self.inductance}")
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Ideal voltage source from ``node_minus`` to ``node_plus``.
+
+    ``name`` identifies the source in the result traces (e.g. for supply
+    energy accounting).
+    """
+
+    node_plus: Node
+    node_minus: Node
+    waveform: Waveform
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Current injected into ``node_plus`` and drawn from ``node_minus``."""
+
+    node_plus: Node
+    node_minus: Node
+    waveform: Waveform
+    name: str = ""
+
+
+Component = Union[Resistor, Capacitor, Inductor, VoltageSource, CurrentSource]
+
+
+@dataclass
+class Netlist:
+    """A flat collection of components plus node bookkeeping."""
+
+    components: List[Component] = field(default_factory=list)
+
+    def add(self, component: Component) -> Component:
+        self.components.append(component)
+        return component
+
+    # -- convenience builders -------------------------------------------------
+
+    def resistor(self, a: Node, b: Node, value: float) -> Resistor:
+        return self.add(Resistor(a, b, value))
+
+    def capacitor(self, a: Node, b: Node, value: float) -> Capacitor:
+        return self.add(Capacitor(a, b, value))
+
+    def inductor(self, a: Node, b: Node, value: float) -> Inductor:
+        return self.add(Inductor(a, b, value))
+
+    def voltage_source(
+        self, plus: Node, minus: Node, waveform: Waveform, name: str = ""
+    ) -> VoltageSource:
+        return self.add(VoltageSource(plus, minus, waveform, name))
+
+    def current_source(
+        self, plus: Node, minus: Node, waveform: Waveform, name: str = ""
+    ) -> CurrentSource:
+        return self.add(CurrentSource(plus, minus, waveform, name))
+
+    # -- inspection -------------------------------------------------------------
+
+    def nodes(self) -> List[Node]:
+        """All non-ground nodes, in first-appearance order."""
+        seen: Dict[Node, None] = {}
+        for comp in self.components:
+            if isinstance(comp, (VoltageSource, CurrentSource)):
+                pair = (comp.node_plus, comp.node_minus)
+            else:
+                pair = (comp.node_a, comp.node_b)
+            for node in pair:
+                if node != GROUND and node not in seen:
+                    seen[node] = None
+        return list(seen)
+
+    def voltage_sources(self) -> List[VoltageSource]:
+        return [c for c in self.components if isinstance(c, VoltageSource)]
+
+    def source_by_name(self, name: str) -> Optional[VoltageSource]:
+        for source in self.voltage_sources():
+            if source.name == name:
+                return source
+        return None
+
+    def validate(self) -> None:
+        """Basic sanity: at least one component and one ground reference."""
+        if not self.components:
+            raise ValueError("empty netlist")
+        grounded = False
+        for comp in self.components:
+            if isinstance(comp, (VoltageSource, CurrentSource)):
+                pair = (comp.node_plus, comp.node_minus)
+            else:
+                pair = (comp.node_a, comp.node_b)
+            if GROUND in pair:
+                grounded = True
+        if not grounded:
+            raise ValueError("netlist has no ground reference (node 0)")

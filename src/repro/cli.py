@@ -1,0 +1,240 @@
+"""Command-line front-end: ``repro-tsv`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``extract``
+    Print the capacitance matrix of an M x N TSV array.
+``depletion``
+    Print depletion width and MOS capacitance vs 1-bit probability.
+``optimize``
+    Load a bit stream from a ``.npy`` file (shape ``(samples, lines)``) or
+    synthesize a Gaussian one, and report the optimal / systematic
+    assignments.
+``figure``
+    Re-run one of the evaluation artefacts (``fig2`` .. ``fig6``, the
+    Sec. 3 ``routing`` overhead, the ``ablations``, the ``related``-work
+    CAC comparison, or the ``noc`` case study) and print its table —
+    ``--format csv|json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_geometry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=4, help="array rows")
+    parser.add_argument("--cols", type=int, default=4, help="array columns")
+    parser.add_argument("--pitch", type=float, default=8.0,
+                        help="TSV pitch [um]")
+    parser.add_argument("--radius", type=float, default=2.0,
+                        help="TSV radius [um]")
+    parser.add_argument(
+        "--cap-method", default="compact3d",
+        choices=("fdm", "compact", "compact3d"),
+        help="capacitance extraction method",
+    )
+
+
+def _geometry(args: argparse.Namespace):
+    from repro.tsv.geometry import TSVArrayGeometry
+
+    return TSVArrayGeometry(
+        rows=args.rows, cols=args.cols,
+        pitch=args.pitch * 1e-6, radius=args.radius * 1e-6,
+    )
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    from repro.tsv.extractor import CapacitanceExtractor
+    from repro.tsv.matrices import total_capacitance
+
+    geometry = _geometry(args)
+    extractor = CapacitanceExtractor(geometry, method=args.cap_method)
+    probabilities = np.full(geometry.n_tsvs, args.probability)
+    matrix = extractor.extract(probabilities)
+    np.set_printoptions(precision=2, suppress=True, linewidth=200)
+    print(f"# {geometry.rows}x{geometry.cols} array, r={args.radius} um, "
+          f"d={args.pitch} um, p={args.probability}, method={args.cap_method}")
+    print("# SPICE-form capacitance matrix [fF]:")
+    print(matrix * 1e15)
+    print("# total capacitance per TSV [fF]:")
+    print(np.round(total_capacitance(matrix) * 1e15, 2))
+    return 0
+
+
+def cmd_depletion(args: argparse.Namespace) -> int:
+    from repro.tsv.depletion import DepletionModel
+
+    model = DepletionModel(
+        radius=args.radius * 1e-6,
+        oxide_thickness=args.radius * 1e-6 / 5.0,
+    )
+    print("# p(1)   width [um]   C_mos [pF/m]")
+    for probability in np.linspace(0.0, 1.0, args.points):
+        width = model.width_for_probability(probability)
+        cap = model.mos_capacitance_per_length(probability)
+        print(f"  {probability:4.2f}   {width * 1e6:10.4f}   {cap * 1e12:10.2f}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import optimize_assignment
+
+    geometry = _geometry(args)
+    if args.stream is not None:
+        bits = np.load(args.stream)
+    else:
+        from repro.datagen.gaussian import gaussian_bit_stream
+
+        bits = gaussian_bit_stream(
+            args.samples, geometry.n_tsvs,
+            sigma=2.0 ** (geometry.n_tsvs / 2.0), rho=args.rho,
+            rng=np.random.default_rng(args.seed),
+        )
+        print(f"# no stream given - using a synthetic Gaussian stream "
+              f"(rho={args.rho})")
+    best_report = None
+    for method in args.methods.split(","):
+        report = optimize_assignment(
+            bits, geometry, method=method.strip(),
+            cap_method=args.cap_method,
+            rng=np.random.default_rng(args.seed),
+        )
+        if best_report is None or report.power < best_report.power:
+            best_report = report
+        print(f"{method.strip():10s}: P_n = {report.power * 1e15:8.3f} fF   "
+              f"reduction vs random = {report.reduction_vs_random * 100:6.2f} %")
+        if args.show_assignment:
+            print(f"  line_of_bit = {report.assignment.line_of_bit}")
+            print(f"  inverted    = {report.assignment.inverted}")
+    if args.save_assignment and best_report is not None:
+        from repro.reporting import assignment_to_json
+
+        with open(args.save_assignment, "w") as handle:
+            handle.write(assignment_to_json(best_report.assignment))
+        print(f"# best assignment written to {args.save_assignment}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ablations,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        noc_case_study,
+        related_work,
+        routing_overhead,
+    )
+
+    modules = {
+        "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5, "fig6": fig6,
+        "routing": routing_overhead, "ablations": ablations,
+        "related": related_work, "noc": noc_case_study,
+    }
+    if args.name == "all":
+        names = list(modules)
+    else:
+        names = [args.name]
+    if args.format == "table":
+        for name in names:
+            modules[name].main(fast=args.fast)
+            print()
+        return 0
+
+    from repro.reporting import rows_to_csv, rows_to_json
+
+    chunks = []
+    for name in names:
+        module = modules[name]
+        if not hasattr(module, "run"):
+            raise SystemExit(
+                f"{name} has no machine-readable row output; use --format table"
+            )
+        rows = module.run(fast=args.fast)
+        if args.format == "csv":
+            chunks.append(f"# {name}\n" + rows_to_csv(rows))
+        else:
+            chunks.append(rows_to_json(rows))
+    text = "\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"# written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tsv",
+        description="Low-power bit-to-TSV assignment toolkit "
+                    "(reproduction of Bamberg et al., DAC 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_extract = sub.add_parser("extract", help="extract a capacitance matrix")
+    _add_geometry_arguments(p_extract)
+    p_extract.add_argument("--probability", type=float, default=0.5,
+                           help="1-bit probability on every TSV")
+    p_extract.set_defaults(func=cmd_extract)
+
+    p_depletion = sub.add_parser(
+        "depletion", help="depletion width / MOS capacitance vs probability"
+    )
+    p_depletion.add_argument("--radius", type=float, default=1.0,
+                             help="TSV radius [um]")
+    p_depletion.add_argument("--points", type=int, default=11)
+    p_depletion.set_defaults(func=cmd_depletion)
+
+    p_optimize = sub.add_parser("optimize", help="optimize an assignment")
+    _add_geometry_arguments(p_optimize)
+    p_optimize.add_argument("--stream", default=None,
+                            help=".npy bit stream, shape (samples, lines)")
+    p_optimize.add_argument("--samples", type=int, default=10000,
+                            help="synthetic stream length")
+    p_optimize.add_argument("--rho", type=float, default=0.5,
+                            help="synthetic stream temporal correlation")
+    p_optimize.add_argument("--seed", type=int, default=2018)
+    p_optimize.add_argument("--methods",
+                            default="optimal,spiral,sawtooth,identity")
+    p_optimize.add_argument("--show-assignment", action="store_true")
+    p_optimize.add_argument("--save-assignment", default=None,
+                            help="write the best assignment as JSON")
+    p_optimize.set_defaults(func=cmd_optimize)
+
+    p_figure = sub.add_parser(
+        "figure", help="re-run one of the paper's evaluation artefacts"
+    )
+    p_figure.add_argument(
+        "name",
+        choices=("fig2", "fig3", "fig4", "fig5", "fig6", "routing",
+                 "ablations", "related", "noc", "all"),
+    )
+    p_figure.add_argument("--fast", action="store_true",
+                          help="shrunken sweeps (seconds instead of minutes)")
+    p_figure.add_argument("--format", default="table",
+                          choices=("table", "csv", "json"))
+    p_figure.add_argument("--output", default=None,
+                          help="write machine-readable output to a file")
+    p_figure.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Physical constants and technology presets used throughout the library.
+
+All values are SI unless a suffix says otherwise. The TSV geometry presets
+follow the dimensions the paper takes from the ITRS 2018 projection.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Fundamental constants
+# ---------------------------------------------------------------------------
+
+#: Elementary charge [C].
+Q_ELEMENTARY = 1.602176634e-19
+
+#: Vacuum permittivity [F/m].
+EPS_0 = 8.8541878128e-12
+
+#: Boltzmann constant [J/K].
+K_BOLTZMANN = 1.380649e-23
+
+#: Default operating temperature [K].
+TEMPERATURE = 300.0
+
+#: Thermal voltage kT/q at the default temperature [V].
+V_THERMAL = K_BOLTZMANN * TEMPERATURE / Q_ELEMENTARY
+
+# ---------------------------------------------------------------------------
+# Material parameters
+# ---------------------------------------------------------------------------
+
+#: Relative permittivity of silicon.
+EPS_R_SI = 11.9
+
+#: Relative permittivity of silicon dioxide (the TSV liner).
+EPS_R_SIO2 = 3.9
+
+#: Substrate conductivity used by the paper's Q3D model [S/m].
+SIGMA_SI = 10.0
+
+#: Hole mobility in lightly doped p-type silicon [m^2/(V*s)].
+MU_P_SI = 0.045
+
+#: Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+N_INTRINSIC_SI = 1.0e16
+
+#: Silicon band gap at 300 K [eV] (for the n_i temperature model).
+E_GAP_SI_300K = 1.12
+
+
+def thermal_voltage(temperature: float = TEMPERATURE) -> float:
+    """Thermal voltage kT/q at a given temperature [V]."""
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive (kelvin)")
+    return K_BOLTZMANN * temperature / Q_ELEMENTARY
+
+
+def intrinsic_carrier_density(temperature: float = TEMPERATURE) -> float:
+    """Intrinsic carrier density of silicon at a given temperature [1/m^3].
+
+    Standard ``n_i(T) = n_i(300) (T/300)^{3/2} exp(-Eg/2k (1/T - 1/300))``
+    scaling; doubles roughly every 8 K around room temperature, which is
+    what moves the Fermi potential (and with it the pinned-mode depletion
+    widths) across the industrial temperature range.
+    """
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive (kelvin)")
+    exponent = (
+        -E_GAP_SI_300K
+        * Q_ELEMENTARY
+        / (2.0 * K_BOLTZMANN)
+        * (1.0 / temperature - 1.0 / 300.0)
+    )
+    return N_INTRINSIC_SI * (temperature / 300.0) ** 1.5 * math.exp(exponent)
+
+#: Copper resistivity [Ohm*m] (TSV fill metal).
+RHO_COPPER = 1.68e-8
+
+#: Vacuum permeability [H/m].
+MU_0 = 4.0e-7 * math.pi
+
+
+def acceptor_density_from_conductivity(sigma: float = SIGMA_SI) -> float:
+    """Acceptor doping density [1/m^3] of a p-substrate with conductivity ``sigma``.
+
+    The paper specifies the substrate only through its conductivity
+    (10 S/m); the depletion model needs the doping level, which follows from
+    ``sigma = q * mu_p * N_A`` for a p-type substrate where hole conduction
+    dominates.
+    """
+    if sigma <= 0.0:
+        raise ValueError(f"conductivity must be positive, got {sigma}")
+    return sigma / (Q_ELEMENTARY * MU_P_SI)
+
+
+#: Acceptor doping corresponding to the paper's 10 S/m substrate [1/m^3].
+N_ACCEPTOR_DEFAULT = acceptor_density_from_conductivity()
+
+# ---------------------------------------------------------------------------
+# Electrical operating point (Sec. 2 and Sec. 7 of the paper)
+# ---------------------------------------------------------------------------
+
+#: Supply voltage [V].
+V_DD = 1.0
+
+#: Clock frequency used for the circuit-level experiments [Hz].
+F_CLOCK = 3.0e9
+
+#: Flat-band voltage of the Cu / SiO2 / p-Si MOS junction [V].
+#: Work-function difference between copper (~4.65 eV) and the lightly doped
+#: p-substrate (~4.9 eV); oxide charge is neglected.
+V_FLATBAND = -0.25
+
+# ---------------------------------------------------------------------------
+# Geometry presets (Sec. 2, Sec. 5 and Sec. 7)
+# ---------------------------------------------------------------------------
+
+#: TSV length = substrate thickness [m].
+TSV_LENGTH = 50.0e-6
+
+#: ITRS-2018 minimum global TSV radius [m].
+RADIUS_MIN_2018 = 1.0e-6
+
+#: ITRS-2018 minimum global TSV pitch [m].
+PITCH_MIN_2018 = 4.0e-6
+
+#: The larger geometry the paper sweeps to (Figs. 2, 4; Sec. 7 footnote) [m].
+RADIUS_LARGE = 2.0e-6
+PITCH_LARGE = 8.0e-6
+
+
+def oxide_thickness(radius: float) -> float:
+    """Liner thickness for a TSV of the given radius (paper: ``r / 5``)."""
+    if radius <= 0.0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    return radius / 5.0

@@ -1,0 +1,39 @@
+"""The paper's core contribution: power-optimal bit-to-TSV assignment.
+
+``assignment``
+    Signed permutations (``A_pi`` of Eq. 4/5): which bit drives which TSV,
+    and which bits are transmitted inverted.
+``power``
+    The interconnect power model ``P_n = <T, C>`` (Eq. 1-3) and its
+    assignment transforms (Eq. 4 and Eq. 9).
+``systematic``
+    The Spiral and Sawtooth mappings of Sec. 4 (Fig. 1) plus the generic
+    greedy rules they derive from.
+``optimize``
+    Search for the power-optimal assignment (Eq. 10): simulated annealing,
+    exhaustive oracle, greedy descent.
+``pipeline``
+    One-call user API tying streams, extraction and optimization together.
+"""
+
+from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.power import PowerModel
+from repro.core.pipeline import (
+    AssignmentReport,
+    evaluate_assignment,
+    optimize_assignment,
+    random_baseline_power,
+)
+from repro.core.systematic import sawtooth_assignment, spiral_assignment
+
+__all__ = [
+    "AssignmentConstraints",
+    "SignedPermutation",
+    "PowerModel",
+    "AssignmentReport",
+    "evaluate_assignment",
+    "optimize_assignment",
+    "random_baseline_power",
+    "sawtooth_assignment",
+    "spiral_assignment",
+]

@@ -1,0 +1,272 @@
+"""Search for the power-optimal assignment ``A_pi`` (paper Eq. 10).
+
+The search space is the signed symmetric group: all ``n!`` bit orderings
+combined with all ``2^n`` inversion patterns, restricted by
+:class:`~repro.core.assignment.AssignmentConstraints`. The paper uses
+simulated annealing and notes the cost is negligible because each TSV
+bundle is small; we provide:
+
+* :func:`simulated_annealing` — the production search (swap and inversion
+  moves, geometric cooling, restart support);
+* :func:`greedy_descent` — cheap deterministic polish: best-improvement
+  hill climbing over all pair swaps and inversion toggles;
+* :func:`exhaustive_search` — exact oracle for small ``n`` (tests, and the
+  3x3 arrays of the paper's Sec. 7 are within reach without inversions).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.power import PowerModel
+
+CostFunction = Callable[[SignedPermutation], float]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an assignment search."""
+
+    assignment: SignedPermutation
+    power: float
+    evaluations: int
+
+
+def _constrained_identity(
+    n: int, constraints: AssignmentConstraints
+) -> SignedPermutation:
+    """A valid starting assignment honouring pinned lines."""
+    constraints.validate_for(n)
+    line_of_bit = [-1] * n
+    used = set()
+    for bit, line in constraints.pinned.items():
+        line_of_bit[bit] = line
+        used.add(line)
+    free_lines = iter(line for line in range(n) if line not in used)
+    for bit in range(n):
+        if line_of_bit[bit] < 0:
+            line_of_bit[bit] = next(free_lines)
+    return SignedPermutation.from_sequence(line_of_bit)
+
+
+def exhaustive_search(
+    cost: CostFunction,
+    n_bits: int,
+    with_inversions: bool = True,
+    constraints: AssignmentConstraints = AssignmentConstraints(),
+) -> SearchResult:
+    """Exact minimum by enumeration — exponential, for small ``n`` only.
+
+    Raises when the space exceeds ~2 million assignments; use simulated
+    annealing beyond that.
+    """
+    constraints.validate_for(n_bits)
+    free = constraints.free_bits(n_bits)
+    invertible = constraints.invertible_bits(n_bits) if with_inversions else ()
+    space = math.factorial(len(free)) * (2 ** len(invertible))
+    if space > 2_000_000:
+        raise ValueError(
+            f"exhaustive search space too large ({space} assignments)"
+        )
+
+    pinned_lines = set(constraints.pinned.values())
+    free_lines = [line for line in range(n_bits) if line not in pinned_lines]
+
+    best_assignment: Optional[SignedPermutation] = None
+    best_power = math.inf
+    evaluations = 0
+    for perm in itertools.permutations(free_lines):
+        line_of_bit = [0] * n_bits
+        for bit, line in constraints.pinned.items():
+            line_of_bit[bit] = line
+        for bit, line in zip(free, perm):
+            line_of_bit[bit] = line
+        for pattern in itertools.product((False, True), repeat=len(invertible)):
+            inverted = [False] * n_bits
+            for bit, flag in zip(invertible, pattern):
+                inverted[bit] = flag
+            candidate = SignedPermutation.from_sequence(line_of_bit, inverted)
+            value = cost(candidate)
+            evaluations += 1
+            if value < best_power:
+                best_power = value
+                best_assignment = candidate
+    assert best_assignment is not None
+    return SearchResult(best_assignment, best_power, evaluations)
+
+
+def greedy_descent(
+    cost: CostFunction,
+    start: SignedPermutation,
+    with_inversions: bool = True,
+    constraints: AssignmentConstraints = AssignmentConstraints(),
+    max_rounds: int = 1000,
+) -> SearchResult:
+    """Best-improvement hill climbing over swaps and inversion toggles."""
+    n = start.n_bits
+    constraints.validate_for(n)
+    if not constraints.allows(start):
+        raise ValueError("start assignment violates the constraints")
+    free = constraints.free_bits(n)
+    invertible = constraints.invertible_bits(n) if with_inversions else ()
+
+    current = start
+    current_power = cost(current)
+    evaluations = 1
+    for _ in range(max_rounds):
+        best_move: Optional[SignedPermutation] = None
+        best_power = current_power
+        for a_idx in range(len(free)):
+            for b_idx in range(a_idx + 1, len(free)):
+                candidate = current.with_swapped_bits(free[a_idx], free[b_idx])
+                value = cost(candidate)
+                evaluations += 1
+                if value < best_power - 1e-30:
+                    best_power = value
+                    best_move = candidate
+        for bit in invertible:
+            candidate = current.with_toggled_inversion(bit)
+            value = cost(candidate)
+            evaluations += 1
+            if value < best_power - 1e-30:
+                best_power = value
+                best_move = candidate
+        if best_move is None:
+            break
+        current, current_power = best_move, best_power
+    return SearchResult(current, current_power, evaluations)
+
+
+def simulated_annealing(
+    cost: CostFunction,
+    n_bits: int,
+    with_inversions: bool = True,
+    constraints: AssignmentConstraints = AssignmentConstraints(),
+    start: Optional[SignedPermutation] = None,
+    rng: Optional[np.random.Generator] = None,
+    initial_temperature: Optional[float] = None,
+    cooling: float = 0.93,
+    steps_per_temperature: Optional[int] = None,
+    min_temperature_ratio: float = 1e-4,
+    polish: bool = True,
+) -> SearchResult:
+    """Simulated annealing over signed permutations (the paper's choice).
+
+    Moves are uniform random bit-pair swaps and (when allowed) inversion
+    toggles. The initial temperature defaults to the standard deviation of
+    the cost over a random-walk warm-up, the schedule is geometric, and the
+    best-seen assignment is optionally polished with :func:`greedy_descent`.
+    """
+    constraints.validate_for(n_bits)
+    if rng is None:
+        rng = np.random.default_rng()
+    if start is None:
+        start = _constrained_identity(n_bits, constraints)
+    elif not constraints.allows(start):
+        raise ValueError("start assignment violates the constraints")
+    free = constraints.free_bits(n_bits)
+    invertible = constraints.invertible_bits(n_bits) if with_inversions else ()
+    if len(free) < 2 and not invertible:
+        return SearchResult(start, cost(start), 1)
+    if steps_per_temperature is None:
+        steps_per_temperature = 25 * n_bits
+
+    def random_neighbor(assignment: SignedPermutation) -> SignedPermutation:
+        use_inversion = (
+            len(invertible) > 0
+            and (len(free) < 2 or rng.random() < 0.3)
+        )
+        if use_inversion:
+            bit = invertible[rng.integers(len(invertible))]
+            return assignment.with_toggled_inversion(bit)
+        a, b = rng.choice(len(free), size=2, replace=False)
+        return assignment.with_swapped_bits(free[a], free[b])
+
+    current = start
+    current_power = cost(current)
+    evaluations = 1
+    best = current
+    best_power = current_power
+
+    if initial_temperature is None:
+        # Warm-up random walk to scale the temperature to the cost surface.
+        samples = []
+        probe = current
+        for _ in range(max(20, 2 * n_bits)):
+            probe = random_neighbor(probe)
+            value = cost(probe)
+            evaluations += 1
+            samples.append(value)
+            if value < best_power:
+                best, best_power = probe, value
+        spread = float(np.std(samples))
+        initial_temperature = spread if spread > 0.0 else abs(best_power) * 0.01
+        current, current_power = best, best_power
+
+    temperature = initial_temperature
+    floor = initial_temperature * min_temperature_ratio
+    while temperature > floor and temperature > 0.0:
+        accepted = 0
+        for _ in range(steps_per_temperature):
+            candidate = random_neighbor(current)
+            value = cost(candidate)
+            evaluations += 1
+            delta = value - current_power
+            if delta <= 0.0 or rng.random() < math.exp(-delta / temperature):
+                current, current_power = candidate, value
+                accepted += 1
+                if value < best_power:
+                    best, best_power = candidate, value
+        temperature *= cooling
+        if accepted == 0 and temperature < initial_temperature * 1e-2:
+            break
+
+    if polish:
+        polished = greedy_descent(
+            cost,
+            best,
+            with_inversions=with_inversions,
+            constraints=constraints,
+        )
+        evaluations += polished.evaluations
+        if polished.power < best_power:
+            best, best_power = polished.assignment, polished.power
+    return SearchResult(best, best_power, evaluations)
+
+
+def optimize_power_model(
+    model: PowerModel,
+    method: str = "sa",
+    with_inversions: bool = True,
+    constraints: AssignmentConstraints = AssignmentConstraints(),
+    rng: Optional[np.random.Generator] = None,
+) -> SearchResult:
+    """Convenience wrapper: minimize a :class:`PowerModel` directly."""
+    cost = model.power
+    if method == "sa":
+        return simulated_annealing(
+            cost,
+            model.n_lines,
+            with_inversions=with_inversions,
+            constraints=constraints,
+            rng=rng,
+        )
+    if method == "greedy":
+        start = _constrained_identity(model.n_lines, constraints)
+        return greedy_descent(
+            cost, start, with_inversions=with_inversions, constraints=constraints
+        )
+    if method == "exhaustive":
+        return exhaustive_search(
+            cost,
+            model.n_lines,
+            with_inversions=with_inversions,
+            constraints=constraints,
+        )
+    raise ValueError(f"unknown optimization method {method!r}")

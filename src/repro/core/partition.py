@@ -1,0 +1,177 @@
+"""Partitioning wide buses across several TSV bundles.
+
+Real 3-D links are often wider than one TSV array: the paper notes that
+"overall up to several hundreds of TSVs exist in modern 3D ICs" and that
+the optimization "is executed for each TSV bundle individually". The
+*global* net-to-bundle split is fixed by routing; but when the designer does
+have freedom, which bits should share a bundle matters: the coupling term
+of Eq. 13 can only be exploited *within* an array, so correlated bit groups
+should travel together.
+
+This module provides the bundle-level layer:
+
+* :func:`partition_bits` — split a wide bus into per-array groups
+  (``contiguous``, ``interleaved``, or ``correlation``-clustered);
+* :func:`optimize_partitioned` — per-bundle assignment optimization and an
+  aggregate report (bundles are assumed electrically independent — they are
+  placed far apart relative to the intra-array pitch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import SignedPermutation
+from repro.core.pipeline import AssignmentReport, optimize_assignment
+from repro.stats.switching import BitStatistics
+from repro.tsv.geometry import TSVArrayGeometry
+
+STRATEGIES = ("contiguous", "interleaved", "correlation")
+
+
+def partition_bits(
+    n_bits: int,
+    group_sizes: Sequence[int],
+    strategy: str = "contiguous",
+    stats: Optional[BitStatistics] = None,
+) -> List[List[int]]:
+    """Split bus bits into groups of the given sizes.
+
+    * ``contiguous`` — bits in order (LSB group first);
+    * ``interleaved`` — round-robin across groups;
+    * ``correlation`` — greedy clustering on ``|E{db_i db_j}|`` (requires
+      ``stats``): each group is seeded with the most-correlated unassigned
+      bit and grown by maximum accumulated correlation, mirroring the
+      paper's recursive coupling rule at bundle level.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose {STRATEGIES}")
+    if sum(group_sizes) != n_bits:
+        raise ValueError(
+            f"group sizes sum to {sum(group_sizes)}, bus has {n_bits} bits"
+        )
+    if any(size < 1 for size in group_sizes):
+        raise ValueError("every group needs at least one bit")
+
+    if strategy == "contiguous":
+        groups = []
+        start = 0
+        for size in group_sizes:
+            groups.append(list(range(start, start + size)))
+            start += size
+        return groups
+
+    if strategy == "interleaved":
+        groups: List[List[int]] = [[] for _ in group_sizes]
+        sizes = list(group_sizes)
+        g = 0
+        for bit in range(n_bits):
+            while len(groups[g]) >= sizes[g]:
+                g = (g + 1) % len(groups)
+            groups[g].append(bit)
+            g = (g + 1) % len(groups)
+        return groups
+
+    if stats is None:
+        raise ValueError("correlation strategy requires stats")
+    if stats.n_lines != n_bits:
+        raise ValueError("statistics do not match the bus width")
+    weight = np.abs(stats.t_c)
+    # Attachments weaker than a few percent of the strongest pair are
+    # statistical noise; grabbing them would eat into *other* groups'
+    # clusters, so they are distributed only after every cluster is grown.
+    threshold = 0.05 * float(weight.max()) if weight.max() > 0.0 else 0.0
+
+    unassigned = set(range(n_bits))
+    groups = []
+    for size in group_sizes:
+        remaining = sorted(unassigned)
+        seed = max(remaining, key=lambda b: weight[b, remaining].sum())
+        group = [seed]
+        unassigned.remove(seed)
+        while len(group) < size and unassigned:
+            remaining = sorted(unassigned)
+            best = max(remaining, key=lambda b: weight[b, group].sum())
+            if weight[best, group].sum() <= threshold:
+                break  # cluster exhausted; leave the rest for later groups
+            group.append(best)
+            unassigned.remove(best)
+        groups.append(group)
+    # Fill remaining capacity with the leftover (uncorrelated) bits.
+    for group, size in zip(groups, group_sizes):
+        while len(group) < size:
+            group.append(min(unassigned))
+            unassigned.remove(group[-1])
+    return [sorted(g) for g in groups]
+
+
+@dataclass(frozen=True)
+class PartitionedReport:
+    """Aggregate result of a partitioned optimization."""
+
+    groups: Tuple[Tuple[int, ...], ...]
+    reports: Tuple[AssignmentReport, ...]
+
+    @property
+    def total_power(self) -> float:
+        return sum(r.power for r in self.reports)
+
+    @property
+    def total_random_mean_power(self) -> float:
+        return sum(r.random_mean_power for r in self.reports)
+
+    @property
+    def reduction_vs_random(self) -> float:
+        return 1.0 - self.total_power / self.total_random_mean_power
+
+    def bit_to_array_line(self, bit: int) -> Tuple[int, int]:
+        """Which (array index, line) a bus bit ends up on."""
+        for array_index, group in enumerate(self.groups):
+            if bit in group:
+                local = group.index(bit)
+                line = self.reports[array_index].assignment.line_of_bit[local]
+                return array_index, line
+        raise ValueError(f"bit {bit} not in any group")
+
+
+def optimize_partitioned(
+    bits: np.ndarray,
+    geometries: Sequence[TSVArrayGeometry],
+    strategy: str = "correlation",
+    method: str = "optimal",
+    cap_method: str = "compact3d",
+    rng: Optional[np.random.Generator] = None,
+    **optimize_kwargs,
+) -> PartitionedReport:
+    """Partition a wide bit stream over several arrays and optimize each.
+
+    ``bits`` has one column per bus bit; ``geometries`` define the bundles
+    (their sizes must sum to the bus width). Extra keyword arguments are
+    forwarded to :func:`~repro.core.pipeline.optimize_assignment`.
+    """
+    bits = np.asarray(bits)
+    n_bits = bits.shape[1]
+    sizes = [g.n_tsvs for g in geometries]
+    stats = BitStatistics.from_stream(bits)
+    groups = partition_bits(n_bits, sizes, strategy=strategy, stats=stats)
+    if rng is None:
+        rng = np.random.default_rng(2018)
+
+    reports = []
+    for group, geometry in zip(groups, geometries):
+        report = optimize_assignment(
+            bits[:, group],
+            geometry,
+            method=method,
+            cap_method=cap_method,
+            rng=rng,
+            **optimize_kwargs,
+        )
+        reports.append(report)
+    return PartitionedReport(
+        groups=tuple(tuple(g) for g in groups),
+        reports=tuple(reports),
+    )

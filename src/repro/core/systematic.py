@@ -1,0 +1,274 @@
+"""Systematic bit-to-TSV assignments for DSP signals (paper Sec. 4, Fig. 1).
+
+When no sample stream is available at design time, the paper proposes two
+closed-form assignments built from the known bit-level structure of DSP
+words:
+
+*Spiral* — for temporally correlated, equally distributed patterns. With no
+spatial bit correlation the power reduces to ``sum_i E{db_i^2} C_T,i``
+(Eq. 12), which is minimized by pairing high-activity bits with
+low-total-capacitance TSVs (rearrangement inequality). Corners have the
+lowest total capacitance, then edges, then the middle; MSBs of correlated
+patterns switch least. Walking the array in an outside-in spiral and placing
+the bits from the LSB (most active) to the MSB (least active) realizes that
+pairing — Fig. 1.a.
+
+*Sawtooth* — for mean-free normally distributed, temporally uncorrelated
+patterns. All self-switching terms are fixed at 1/2 (Eq. 13); power is
+minimized by putting strongly correlated bit pairs on strongly coupled TSV
+pairs. The paper's recursive rule: put the MSB on a corner, the next bit on
+its strongest-coupled neighbour, and each following bit on the TSV with the
+biggest *accumulated* coupling to all already-placed TSVs. On the standard
+arrays this walks the first two rows in a sawtooth and continues row by row
+— Fig. 1.b. :func:`greedy_coupling_assignment` implements the rule against
+an actual capacitance matrix; :func:`sawtooth_assignment` is the closed
+form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import SignedPermutation
+from repro.stats.switching import BitStatistics
+from repro.tsv.geometry import TSVArrayGeometry
+from repro.tsv.matrices import total_capacitance
+
+
+def spiral_order(geometry: TSVArrayGeometry) -> List[int]:
+    """TSV indices along an outside-in clockwise spiral from TSV (0, 0).
+
+    The walk covers the perimeter ring first (corners and edges — the
+    low-capacitance positions), then recurses inward, ending at the array
+    centre (the highest-capacitance position).
+    """
+    rows, cols = geometry.rows, geometry.cols
+    top, bottom, left, right = 0, rows - 1, 0, cols - 1
+    order: List[int] = []
+    while top <= bottom and left <= right:
+        for c in range(left, right + 1):
+            order.append(geometry.index(top, c))
+        for r in range(top + 1, bottom + 1):
+            order.append(geometry.index(r, right))
+        if top < bottom:
+            for c in range(right - 1, left - 1, -1):
+                order.append(geometry.index(bottom, c))
+        if left < right:
+            for r in range(bottom - 1, top, -1):
+                order.append(geometry.index(r, left))
+        top, bottom, left, right = top + 1, bottom - 1, left + 1, right - 1
+    return order
+
+
+def spiral_class_order(geometry: TSVArrayGeometry) -> List[int]:
+    """Spiral positions reordered by capacitance class within each ring.
+
+    The paper's construction rule is class-based: the most active bits go to
+    the array *corners* (lowest total capacitance), the next to the *edges*,
+    the rest to the middle. A literal perimeter walk interleaves corners and
+    edges; this order visits, ring by ring from the outside in, first the
+    ring's corner positions (in walk order) and then its edge positions —
+    which sorts the standard arrays by total capacitance while keeping the
+    Fig. 1.a spiral structure.
+    """
+    rows, cols = geometry.rows, geometry.cols
+    walk = spiral_order(geometry)
+
+    def ring(index: int) -> int:
+        r, c = geometry.row_col(index)
+        return min(r, c, rows - 1 - r, cols - 1 - c)
+
+    def is_ring_corner(index: int) -> bool:
+        r, c = geometry.row_col(index)
+        k = ring(index)
+        return r in (k, rows - 1 - k) and c in (k, cols - 1 - k)
+
+    walk_position = {tsv: pos for pos, tsv in enumerate(walk)}
+    return sorted(
+        walk,
+        key=lambda tsv: (ring(tsv), not is_ring_corner(tsv), walk_position[tsv]),
+    )
+
+
+def spiral_assignment(
+    geometry: TSVArrayGeometry,
+    activity_order: Optional[Sequence[int]] = None,
+    order: str = "class",
+) -> SignedPermutation:
+    """The Spiral mapping of Fig. 1.a (no inversions).
+
+    ``activity_order`` lists the bits from most to least switching activity;
+    it defaults to LSB-to-MSB order (bit 0 first), the activity ordering of
+    temporally correlated DSP words. Bit ``activity_order[k]`` lands on the
+    ``k``-th position of the outside-in spiral, so the most active bits take
+    the low-capacitance perimeter.
+
+    ``order`` selects the position sequence: ``"class"`` (default) uses
+    :func:`spiral_class_order` — corners before edges within each ring, the
+    paper's construction rule — while ``"walk"`` follows the literal
+    perimeter walk of :func:`spiral_order`.
+    """
+    n = geometry.n_tsvs
+    if activity_order is None:
+        activity_order = list(range(n))
+    if sorted(activity_order) != list(range(n)):
+        raise ValueError("activity_order must be a permutation of the bits")
+    if order == "class":
+        walk = spiral_class_order(geometry)
+    elif order == "walk":
+        walk = spiral_order(geometry)
+    else:
+        raise ValueError(f"order must be 'class' or 'walk', got {order!r}")
+    line_of_bit = [0] * n
+    for position, bit in enumerate(activity_order):
+        line_of_bit[bit] = walk[position]
+    return SignedPermutation.from_sequence(line_of_bit)
+
+
+def spiral_assignment_for_stats(
+    geometry: TSVArrayGeometry,
+    stats: BitStatistics,
+    cap_matrix: Optional[np.ndarray] = None,
+) -> SignedPermutation:
+    """Spiral mapping with the activity order measured from statistics.
+
+    Bits are ranked by their empirical self-switching probability (most
+    active first), which generalizes the LSB-first default to streams whose
+    activity is not monotone in bit position — e.g. streams with stable
+    lines, which the paper treats "as MSBs" (least active, innermost).
+
+    When ``cap_matrix`` is given, the TSV order is the exact
+    total-capacitance sorting it implies (the capacitance matrix is
+    design-time knowledge, so this is still a "systematic" mapping — on the
+    standard arrays the sorting traces out the Fig. 1.a spiral); otherwise
+    the structural :func:`spiral_class_order` is used.
+    """
+    if stats.n_lines != geometry.n_tsvs:
+        raise ValueError("statistics do not match array size")
+    order = list(np.argsort(-stats.self_switching, kind="stable"))
+    if cap_matrix is None:
+        return spiral_assignment(geometry, activity_order=order)
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    if cap_matrix.shape != (geometry.n_tsvs, geometry.n_tsvs):
+        raise ValueError("capacitance matrix does not match the array")
+    walk = list(np.argsort(total_capacitance(cap_matrix), kind="stable"))
+    line_of_bit = [0] * geometry.n_tsvs
+    for position, bit in enumerate(order):
+        line_of_bit[bit] = int(walk[position])
+    return SignedPermutation.from_sequence(line_of_bit)
+
+
+def sawtooth_order(geometry: TSVArrayGeometry) -> List[int]:
+    """TSV indices in the Fig. 1.b order: two-row sawtooth, then row-major.
+
+    The first two rows are visited column by column alternating between row
+    0 and row 1 — the "sawtooth" — and the remaining rows in plain row-major
+    order.
+    """
+    rows, cols = geometry.rows, geometry.cols
+    order: List[int] = []
+    if rows == 1:
+        return [geometry.index(0, c) for c in range(cols)]
+    for c in range(cols):
+        order.append(geometry.index(0, c))
+        order.append(geometry.index(1, c))
+    for r in range(2, rows):
+        for c in range(cols):
+            order.append(geometry.index(r, c))
+    return order
+
+
+def sawtooth_assignment(
+    geometry: TSVArrayGeometry,
+    significance_order: Optional[Sequence[int]] = None,
+) -> SignedPermutation:
+    """The Sawtooth (ST) mapping of Fig. 1.b (no inversions).
+
+    ``significance_order`` lists the bits from most to least mutually
+    correlated; it defaults to MSB-to-LSB order (bit ``n-1`` first), the
+    correlation ordering of mean-free normally distributed words. Highly
+    correlated bits land on the strongly coupled corner/edge pairs at the
+    start of the sawtooth walk.
+    """
+    n = geometry.n_tsvs
+    if significance_order is None:
+        significance_order = list(range(n - 1, -1, -1))
+    if sorted(significance_order) != list(range(n)):
+        raise ValueError("significance_order must be a permutation of the bits")
+    walk = sawtooth_order(geometry)
+    line_of_bit = [0] * n
+    for position, bit in enumerate(significance_order):
+        line_of_bit[bit] = walk[position]
+    return SignedPermutation.from_sequence(line_of_bit)
+
+
+def greedy_coupling_assignment(
+    geometry: TSVArrayGeometry,
+    cap_matrix: np.ndarray,
+    significance_order: Optional[Sequence[int]] = None,
+) -> SignedPermutation:
+    """The paper's recursive placement rule behind the Sawtooth mapping.
+
+    Place the most significant bit on the corner with the lowest total
+    capacitance; then, repeatedly, place the next bit on the free TSV with
+    the largest accumulated coupling capacitance to all TSVs already used.
+    Ties fall to the lower TSV index. On the standard arrays this reproduces
+    the closed-form sawtooth (verified in the test suite).
+    """
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    n = geometry.n_tsvs
+    if cap_matrix.shape != (n, n):
+        raise ValueError("capacitance matrix does not match the array")
+    if significance_order is None:
+        significance_order = list(range(n - 1, -1, -1))
+    if sorted(significance_order) != list(range(n)):
+        raise ValueError("significance_order must be a permutation of the bits")
+
+    corners = [
+        i
+        for i in range(n)
+        if geometry.position_class(i).value == "corner"
+    ]
+    totals = total_capacitance(cap_matrix)
+    start = min(corners, key=lambda i: (totals[i], i))
+
+    placed: List[int] = [start]
+    free = set(range(n)) - {start}
+    coupling = cap_matrix.copy()
+    np.fill_diagonal(coupling, 0.0)
+    while free:
+        accumulated = {t: coupling[t, placed].sum() for t in free}
+        best = max(sorted(free), key=lambda t: (accumulated[t], -t))
+        placed.append(best)
+        free.remove(best)
+
+    line_of_bit = [0] * n
+    for position, bit in enumerate(significance_order):
+        line_of_bit[bit] = placed[position]
+    return SignedPermutation.from_sequence(line_of_bit)
+
+
+def activity_sorted_assignment(
+    geometry: TSVArrayGeometry,
+    cap_matrix: np.ndarray,
+    stats: BitStatistics,
+) -> SignedPermutation:
+    """Exact Eq. 12 optimum for spatially uncorrelated, balanced streams.
+
+    Sorts the lines by total capacitance and the bits by self switching and
+    pairs them in opposite order (rearrangement inequality). For streams
+    with ``T_c = 0`` and all probabilities 1/2 this is provably optimal and
+    serves as an oracle for the search algorithms.
+    """
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    n = geometry.n_tsvs
+    if stats.n_lines != n or cap_matrix.shape != (n, n):
+        raise ValueError("sizes do not match the array")
+    lines_by_cap = np.argsort(total_capacitance(cap_matrix), kind="stable")
+    bits_by_activity = np.argsort(-stats.self_switching, kind="stable")
+    line_of_bit = [0] * n
+    for line, bit in zip(lines_by_cap, bits_by_activity):
+        line_of_bit[bit] = int(line)
+    return SignedPermutation.from_sequence(line_of_bit)

@@ -1,0 +1,37 @@
+"""Synthetic data-stream generators.
+
+The paper evaluates its technique on sequential (program-counter-like)
+streams, Gaussian DSP streams, image-sensor pixels and MEMS sensor traces.
+The real traces are not redistributable, so this package synthesizes streams
+with the same second-order bit statistics — which is all the technique
+exploits.
+
+``util``
+    Word/bit conversions, interleaving and multiplexing helpers.
+``gaussian``
+    AR(1) Gaussian word streams (the paper's synthetic DSP workload).
+``sequential``
+    Branch-probability program-counter streams (Fig. 2 workload).
+``images``
+    Synthetic scenes, Bayer mosaic and the four VSoC stream builders
+    (Fig. 4 / Fig. 6 workloads).
+``mems``
+    Synthetic 9-axis MEMS sensor traces (Fig. 5 / Fig. 6 workloads).
+``random_stream``
+    Uniform random words (Fig. 6 coded-link workload).
+"""
+
+from repro.datagen.util import (
+    bits_to_words,
+    interleave_streams,
+    words_to_bits,
+)
+from repro.datagen.gaussian import ar1_gaussian_words, gaussian_bit_stream
+
+__all__ = [
+    "bits_to_words",
+    "interleave_streams",
+    "words_to_bits",
+    "ar1_gaussian_words",
+    "gaussian_bit_stream",
+]

@@ -1,0 +1,167 @@
+"""Synthetic MEMS sensor traces — the Fig. 5 / Fig. 6 workloads.
+
+The paper uses magnetometer, accelerometer and gyroscope signals recorded on
+a smartphone "in various daily use scenarios", each sensing three axes at
+16 b. Those recordings are not redistributable; what the assignment
+technique sees is only their second-order structure — normally distributed,
+temporally correlated samples with sensor-specific DC offsets — so this
+module synthesizes each sensor/scenario as
+
+``offset + drift + periodic motion + AR(1) noise``
+
+with physically motivated magnitudes (gravity on the accelerometer z-axis,
+the Earth field on the magnetometer, near-zero-mean rates on the gyroscope).
+
+Stream builders match the paper's three transmission formats:
+
+* :func:`rms_stream` — per-sample root-mean-square of the three axes
+  (unsigned, *not* mean-free: the Spiral case);
+* :func:`xyz_interleaved_stream` — x, y, z regularly interleaved (temporal
+  correlation destroyed, amplitude distribution kept: the Sawtooth case);
+* :func:`all_sensors_mux_stream` — the three XYZ-interleaved sensors
+  multiplexed pattern-by-pattern onto one array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen.util import interleave_streams, quantize_to_integers, words_to_bits
+
+SENSORS = ("accelerometer", "gyroscope", "magnetometer")
+SCENARIOS = ("rest", "walking", "driving", "rotating")
+
+#: Word width of every sensor channel (the paper: 16 b resolution).
+WIDTH = 16
+
+
+@dataclass(frozen=True)
+class _AxisRecipe:
+    """Synthesis parameters of one sensor axis in one scenario (in LSBs)."""
+
+    offset: float
+    noise_sigma: float
+    noise_rho: float
+    motion_amplitude: float
+    motion_period: float  # samples
+
+
+def _recipes(scenario: str) -> Dict[str, Tuple[_AxisRecipe, ...]]:
+    """Per-sensor (x, y, z) synthesis recipes for a scenario."""
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+    motion = {
+        "rest": (0.0, 64.0),
+        "walking": (1800.0, 50.0),
+        "driving": (900.0, 160.0),
+        "rotating": (2500.0, 80.0),
+    }[scenario]
+    amplitude, period = motion
+    gravity = 8192.0  # ~1 g on the z axis at +-4 g full scale
+    earth_field = 3000.0  # magnetometer DC component
+
+    accel = (
+        _AxisRecipe(0.0, 300.0, 0.95, amplitude, period),
+        _AxisRecipe(0.0, 300.0, 0.95, 0.7 * amplitude, period * 1.3),
+        _AxisRecipe(gravity, 260.0, 0.95, 0.5 * amplitude, period),
+    )
+    gyro_gain = 2.2 if scenario == "rotating" else 0.4
+    gyro = (
+        _AxisRecipe(0.0, 500.0, 0.9, gyro_gain * amplitude, period),
+        _AxisRecipe(0.0, 500.0, 0.9, gyro_gain * 0.8 * amplitude, period * 0.8),
+        _AxisRecipe(0.0, 400.0, 0.9, gyro_gain * 0.6 * amplitude, period * 1.1),
+    )
+    mag = (
+        _AxisRecipe(earth_field, 120.0, 0.99, 0.1 * amplitude, period * 4.0),
+        _AxisRecipe(-0.4 * earth_field, 120.0, 0.99, 0.08 * amplitude, period * 4.5),
+        _AxisRecipe(0.7 * earth_field, 110.0, 0.99, 0.06 * amplitude, period * 5.0),
+    )
+    return {"accelerometer": accel, "gyroscope": gyro, "magnetometer": mag}
+
+
+def sensor_axes(
+    sensor: str,
+    scenario: str = "walking",
+    n_samples: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Raw (n_samples, 3) integer samples of one sensor's x, y, z axes."""
+    if sensor not in SENSORS:
+        raise ValueError(f"unknown sensor {sensor!r}; choose from {SENSORS}")
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    if rng is None:
+        rng = np.random.default_rng()
+    recipes = _recipes(scenario)[sensor]
+    t = np.arange(n_samples, dtype=float)
+    axes = []
+    for recipe in recipes:
+        noise = np.empty(n_samples)
+        noise[0] = rng.standard_normal()
+        scale = np.sqrt(1.0 - recipe.noise_rho**2)
+        innovations = rng.standard_normal(n_samples)
+        for k in range(1, n_samples):
+            noise[k] = recipe.noise_rho * noise[k - 1] + scale * innovations[k]
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        motion = recipe.motion_amplitude * np.sin(
+            2.0 * np.pi * t / recipe.motion_period + phase
+        )
+        axes.append(recipe.offset + motion + recipe.noise_sigma * noise)
+    samples = np.stack(axes, axis=1)
+    return quantize_to_integers(samples, WIDTH, signed=True)
+
+
+def axis_bits(axes: np.ndarray, axis: int) -> np.ndarray:
+    """Bit stream (LSB first) of one axis column of :func:`sensor_axes`."""
+    return words_to_bits(axes[:, axis], WIDTH)
+
+
+def rms_stream(axes: np.ndarray) -> np.ndarray:
+    """16-line bit stream of the per-sample RMS of the three axes.
+
+    RMS values are unsigned and non-zero-mean — the stream where the paper
+    finds the Spiral mapping beats the Sawtooth mapping.
+    """
+    axes = np.asarray(axes, dtype=float)
+    if axes.ndim != 2 or axes.shape[1] != 3:
+        raise ValueError("expected an (n, 3) axis array")
+    rms = np.sqrt(np.mean(axes**2, axis=1))
+    words = quantize_to_integers(rms, WIDTH, signed=False)
+    return words_to_bits(words, WIDTH)
+
+
+def xyz_interleaved_stream(axes: np.ndarray) -> np.ndarray:
+    """16-line bit stream with x, y, z samples regularly interleaved.
+
+    Interleaving destroys the temporal correlation while keeping the
+    (approximately Gaussian) amplitude distribution — the Sawtooth case.
+    """
+    axes = np.asarray(axes)
+    if axes.ndim != 2 or axes.shape[1] != 3:
+        raise ValueError("expected an (n, 3) axis array")
+    words = interleave_streams([axes[:, 0], axes[:, 1], axes[:, 2]])
+    return words_to_bits(words, WIDTH)
+
+
+def all_sensors_mux_stream(
+    scenario: str = "walking",
+    n_samples: int = 4096,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """All three sensors, XYZ-interleaved then muxed pattern-by-pattern.
+
+    The paper's "for completeness" case: one TSV array carries the three
+    XYZ-interleaved sensor streams in regular rotation.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    words_per_sensor: List[np.ndarray] = []
+    for sensor in SENSORS:
+        axes = sensor_axes(sensor, scenario, n_samples, rng)
+        words = interleave_streams([axes[:, 0], axes[:, 1], axes[:, 2]])
+        words_per_sensor.append(words)
+    muxed = interleave_streams(words_per_sensor)
+    return words_to_bits(muxed, WIDTH)

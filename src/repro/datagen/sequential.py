@@ -1,0 +1,67 @@
+"""Sequential (program-counter-like) data streams — the Fig. 2 workload.
+
+The paper validates the Spiral mapping on "synthetic sequential data streams
+with varying branch probability": address-like patterns that usually
+increment by one and occasionally jump to a uniformly random value. Their
+marginal distribution is uniform over the word range (so there is no spatial
+bit correlation and every bit probability is 1/2), while the temporal
+correlation — and with it the MSB self-switching — is set by the branch
+probability: 0 is a pure counter, 1 is white uniform noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datagen.util import words_to_bits
+
+
+def program_counter_words(
+    n_samples: int,
+    width: int,
+    branch_probability: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Unsigned word stream: increment-by-one with random branches.
+
+    Each step the value either increments (probability ``1 - branch
+    probability``, wrapping modulo ``2**width``) or jumps to a uniform
+    random word. The start value is uniform, so the stream is stationary
+    and exactly equally distributed.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not 0.0 <= branch_probability <= 1.0:
+        raise ValueError(
+            f"branch_probability must be in [0, 1], got {branch_probability}"
+        )
+    if rng is None:
+        rng = np.random.default_rng()
+    modulus = 1 << width
+    branches = rng.random(n_samples) < branch_probability
+    targets = rng.integers(0, modulus, n_samples, dtype=np.int64)
+
+    words = np.empty(n_samples, dtype=np.int64)
+    current = int(targets[0])  # uniform stationary start
+    for t in range(n_samples):
+        if branches[t]:
+            current = int(targets[t])
+        else:
+            current = (current + 1) % modulus
+        words[t] = current
+    return words
+
+
+def program_counter_bits(
+    n_samples: int,
+    width: int,
+    branch_probability: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Bit stream of :func:`program_counter_words` (LSB first)."""
+    words = program_counter_words(n_samples, width, branch_probability, rng)
+    return words_to_bits(words, width)

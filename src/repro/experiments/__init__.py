@@ -1,0 +1,14 @@
+"""Reproductions of every evaluation figure of the paper.
+
+One module per figure (``fig2`` ... ``fig6``) plus the Sec. 3 routing
+overhead analysis and the ablations called out in DESIGN.md. Each module
+exposes
+
+* ``run(fast=False, ...)`` — compute the figure's data and return it as a
+  list of labelled rows;
+* ``main()`` — run and pretty-print (the CLI and the benchmarks call this).
+
+``fast=True`` shrinks stream lengths and sweep densities so the whole set
+finishes in seconds (used by the benchmark harness defaults); the full
+settings reproduce the paper-scale sweeps.
+"""

@@ -1,0 +1,42 @@
+"""A small 3-D mesh network-on-chip substrate.
+
+The paper's final experiment assumes "a 3D network on chip, where the data
+is mainly transmitted over 2D links and a dedicated encoding for each 3D
+link is too cost intensive". This package builds that system so the claim
+can be evaluated at network level rather than on a single link:
+
+``topology``
+    3-D mesh of routers; horizontal (planar metal) and vertical (TSV
+    array) links.
+``routing``
+    Deterministic dimension-ordered XYZ routing.
+``traffic``
+    Packet generators (uniform, hotspot, transpose) with configurable flit
+    payloads.
+``simulation``
+    Link-trace simulation: routes every packet and materializes the flit
+    stream each link actually carries — the input the power models need.
+``power``
+    Per-vertical-link assignment optimization and the network-level power
+    report (plain vs invert-coded vs assignment vs both).
+"""
+
+from repro.noc.topology import Link, MeshTopology
+from repro.noc.routing import xyz_route
+from repro.noc.traffic import PacketTrace, hotspot_traffic, transpose_traffic, uniform_traffic
+from repro.noc.simulation import LinkTraces, simulate_link_traces
+from repro.noc.power import VerticalLinkReport, optimize_vertical_links
+
+__all__ = [
+    "Link",
+    "MeshTopology",
+    "xyz_route",
+    "PacketTrace",
+    "uniform_traffic",
+    "hotspot_traffic",
+    "transpose_traffic",
+    "LinkTraces",
+    "simulate_link_traces",
+    "VerticalLinkReport",
+    "optimize_vertical_links",
+]

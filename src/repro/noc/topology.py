@@ -1,0 +1,102 @@
+"""3-D mesh topology: routers and links.
+
+Routers sit on an ``nx x ny x nz`` grid; each router connects to its six
+neighbours (fewer at the mesh faces). Horizontal links are planar metal
+buses; vertical links cross a die boundary through a TSV array — the links
+this library exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+Coordinate = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between adjacent routers.
+
+    ``vertical`` is True when the link crosses dies (z changes) — i.e. it
+    is a TSV array rather than planar metal.
+    """
+
+    source: Coordinate
+    destination: Coordinate
+
+    def __post_init__(self) -> None:
+        deltas = [abs(a - b) for a, b in zip(self.source, self.destination)]
+        if sorted(deltas) != [0, 0, 1]:
+            raise ValueError(
+                f"link {self.source} -> {self.destination} is not between "
+                "adjacent routers"
+            )
+
+    @property
+    def vertical(self) -> bool:
+        return self.source[2] != self.destination[2]
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """An ``nx x ny x nz`` 3-D mesh.
+
+    ``nz`` is the number of stacked dies; ``nz >= 2`` means vertical (TSV)
+    links exist.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("all mesh dimensions must be >= 1")
+
+    @property
+    def n_routers(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def contains(self, node: Coordinate) -> bool:
+        x, y, z = node
+        return 0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz
+
+    def nodes(self) -> Iterator[Coordinate]:
+        for z in range(self.nz):
+            for y in range(self.ny):
+                for x in range(self.nx):
+                    yield (x, y, z)
+
+    def node_index(self, node: Coordinate) -> int:
+        """Flat index of a router (x fastest)."""
+        if not self.contains(node):
+            raise ValueError(f"{node} outside the {self.nx}x{self.ny}x{self.nz} mesh")
+        x, y, z = node
+        return (z * self.ny + y) * self.nx + x
+
+    def neighbors(self, node: Coordinate) -> List[Coordinate]:
+        if not self.contains(node):
+            raise ValueError(f"{node} outside the mesh")
+        x, y, z = node
+        candidates = [
+            (x - 1, y, z), (x + 1, y, z),
+            (x, y - 1, z), (x, y + 1, z),
+            (x, y, z - 1), (x, y, z + 1),
+        ]
+        return [c for c in candidates if self.contains(c)]
+
+    def links(self) -> List[Link]:
+        """All directed links of the mesh."""
+        result = []
+        for node in self.nodes():
+            for neighbor in self.neighbors(node):
+                result.append(Link(node, neighbor))
+        return result
+
+    def vertical_links(self) -> List[Link]:
+        """The TSV-array links (directed)."""
+        return [link for link in self.links() if link.vertical]
+
+    def link_map(self) -> Dict[Tuple[Coordinate, Coordinate], Link]:
+        return {(l.source, l.destination): l for l in self.links()}

@@ -1,0 +1,156 @@
+"""Traffic generation for the 3-D mesh.
+
+A :class:`PacketTrace` is a list of packets; each packet has a source, a
+destination and a payload of flits (integer words of the link width). The
+spatial patterns are the classic NoC benchmarks:
+
+* ``uniform`` — destination uniform over all other routers;
+* ``hotspot`` — a fraction of the traffic converges on one router (e.g. a
+  memory controller on the bottom die — this is what loads the TSVs);
+* ``transpose`` — (x, y, z) -> (y, x, nz-1-z), a permutation pattern with
+  guaranteed vertical crossings.
+
+Flit payloads come from the library's data generators: ``payload="random"``
+for uncoded random words, ``payload="gaussian"`` for DSP-like correlated
+words *within* each packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen.gaussian import ar1_gaussian_words
+from repro.noc.topology import Coordinate, MeshTopology
+
+PAYLOADS = ("random", "gaussian")
+
+
+@dataclass(frozen=True)
+class Packet:
+    source: Coordinate
+    destination: Coordinate
+    flits: np.ndarray  # 1-D integer words
+
+    def __post_init__(self) -> None:
+        if self.flits.ndim != 1 or len(self.flits) == 0:
+            raise ValueError("a packet needs a 1-D, non-empty flit payload")
+
+
+@dataclass(frozen=True)
+class PacketTrace:
+    """A workload: packets plus the link word width they assume."""
+
+    packets: Tuple[Packet, ...]
+    flit_width: int
+
+    @property
+    def n_flits(self) -> int:
+        return sum(len(p.flits) for p in self.packets)
+
+
+def _payload(
+    kind: str, n_flits: int, width: int, rng: np.random.Generator
+) -> np.ndarray:
+    if kind == "random":
+        return rng.integers(0, 1 << width, n_flits, dtype=np.int64)
+    if kind == "gaussian":
+        words = ar1_gaussian_words(
+            n_flits, width, sigma=2.0 ** (width - 3), rho=0.8, rng=rng
+        )
+        return np.where(words < 0, words + (1 << width), words)
+    raise ValueError(f"unknown payload kind {kind!r}; choose {PAYLOADS}")
+
+
+def _make_trace(
+    pairs: List[Tuple[Coordinate, Coordinate]],
+    flit_width: int,
+    flits_per_packet: int,
+    payload: str,
+    rng: np.random.Generator,
+) -> PacketTrace:
+    packets = [
+        Packet(src, dst, _payload(payload, flits_per_packet, flit_width, rng))
+        for src, dst in pairs
+    ]
+    return PacketTrace(packets=tuple(packets), flit_width=flit_width)
+
+
+def uniform_traffic(
+    topology: MeshTopology,
+    n_packets: int,
+    flit_width: int = 16,
+    flits_per_packet: int = 8,
+    payload: str = "gaussian",
+    rng: Optional[np.random.Generator] = None,
+) -> PacketTrace:
+    """Uniform random source/destination pairs (source != destination)."""
+    if rng is None:
+        rng = np.random.default_rng()
+    nodes = list(topology.nodes())
+    if len(nodes) < 2:
+        raise ValueError("uniform traffic needs at least two routers")
+    pairs = []
+    for _ in range(n_packets):
+        src = nodes[rng.integers(len(nodes))]
+        dst = nodes[rng.integers(len(nodes))]
+        while dst == src:
+            dst = nodes[rng.integers(len(nodes))]
+        pairs.append((src, dst))
+    return _make_trace(pairs, flit_width, flits_per_packet, payload, rng)
+
+
+def hotspot_traffic(
+    topology: MeshTopology,
+    n_packets: int,
+    hotspot: Coordinate,
+    hotspot_fraction: float = 0.5,
+    flit_width: int = 16,
+    flits_per_packet: int = 8,
+    payload: str = "gaussian",
+    rng: Optional[np.random.Generator] = None,
+) -> PacketTrace:
+    """Uniform traffic with a fraction redirected to one hot router."""
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    if not topology.contains(hotspot):
+        raise ValueError("hotspot outside the mesh")
+    if rng is None:
+        rng = np.random.default_rng()
+    nodes = list(topology.nodes())
+    pairs = []
+    for _ in range(n_packets):
+        src = nodes[rng.integers(len(nodes))]
+        if rng.random() < hotspot_fraction and src != hotspot:
+            dst = hotspot
+        else:
+            dst = nodes[rng.integers(len(nodes))]
+            while dst == src:
+                dst = nodes[rng.integers(len(nodes))]
+        pairs.append((src, dst))
+    return _make_trace(pairs, flit_width, flits_per_packet, payload, rng)
+
+
+def transpose_traffic(
+    topology: MeshTopology,
+    packets_per_node: int = 1,
+    flit_width: int = 16,
+    flits_per_packet: int = 8,
+    payload: str = "gaussian",
+    rng: Optional[np.random.Generator] = None,
+) -> PacketTrace:
+    """(x, y, z) -> (y, x, nz-1-z): every packet crosses the stack."""
+    if topology.nx != topology.ny:
+        raise ValueError("transpose traffic needs a square x/y footprint")
+    if rng is None:
+        rng = np.random.default_rng()
+    pairs = []
+    for _ in range(packets_per_node):
+        for node in topology.nodes():
+            x, y, z = node
+            dst = (y, x, topology.nz - 1 - z)
+            if dst != node:
+                pairs.append((node, dst))
+    return _make_trace(pairs, flit_width, flits_per_packet, payload, rng)

@@ -1,0 +1,11 @@
+"""Local-routing overhead analysis (paper Sec. 3).
+
+The assignment technique's only cost is a slight change in the local metal
+wiring between the arriving signal bus and the TSV landing pads. ``local``
+models that wiring and reproduces the paper's claim that the effect on the
+path parasitics is negligible (worst case 0.4 %, mean below 0.2 %).
+"""
+
+from repro.routing.local import LocalRoutingModel, RoutingOverhead
+
+__all__ = ["LocalRoutingModel", "RoutingOverhead"]

@@ -1,0 +1,36 @@
+"""Signal-integrity analysis of TSV arrays.
+
+The paper's introduction positions the assignment technique against two
+other families: manufacturing fixes and crosstalk-avoidance *codes* (CAC),
+which improve signal integrity but "increase the TSV count, leading to an
+even increased overall TSV power". This subpackage provides the analysis
+side of that argument:
+
+``noise``
+    Capacitive-divider crosstalk estimates per victim, worst-case aggressor
+    patterns, and stream-level noise statistics.
+``delay``
+    Effective switched capacitance per transition and Elmore-style delay of
+    the driver + 3pi-RLC path, including the worst-case (anti-parallel
+    aggressor) pattern.
+"""
+
+from repro.si.noise import (
+    stream_noise_statistics,
+    victim_noise,
+    worst_case_noise,
+)
+from repro.si.delay import (
+    effective_capacitance,
+    elmore_delay,
+    worst_case_delay,
+)
+
+__all__ = [
+    "victim_noise",
+    "worst_case_noise",
+    "stream_noise_statistics",
+    "effective_capacitance",
+    "elmore_delay",
+    "worst_case_delay",
+]

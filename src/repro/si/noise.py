@@ -1,0 +1,135 @@
+"""Capacitive crosstalk noise on quiet TSVs.
+
+When aggressor TSVs switch while a victim holds its value, the coupling
+capacitances divide the aggressor swing onto the victim. For a victim *i*
+held by a (finite-impedance) driver, the classical charge-sharing peak is
+
+``V_noise,i = sum_j C_ij * dV_j / C_T,i``
+
+with ``C_T,i`` the victim's total capacitance — the standard capacitive
+divider bound, exact in the limit of a slow victim driver and fast
+aggressors, conservative otherwise. The transient engine
+(:mod:`repro.circuit`) can reproduce the actual damped waveform; the tests
+cross-check the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.switching import validate_bit_stream
+from repro.tsv.matrices import total_capacitance
+
+
+def victim_noise(
+    cap_matrix: np.ndarray,
+    deltas: np.ndarray,
+    vdd: float = 1.0,
+) -> np.ndarray:
+    """Peak charge-sharing noise on every line for one transition [V].
+
+    ``deltas`` holds the signed transitions (-1, 0, +1) of all lines; lines
+    with a nonzero delta are aggressors (their own "noise" entry is reported
+    as 0 — they are driven, not victims).
+    """
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    deltas = np.asarray(deltas, dtype=float)
+    n = cap_matrix.shape[0]
+    if cap_matrix.shape != (n, n) or deltas.shape != (n,):
+        raise ValueError("capacitance matrix and deltas sizes do not match")
+    totals = total_capacitance(cap_matrix)
+    coupling = cap_matrix.copy()
+    np.fill_diagonal(coupling, 0.0)
+    injected = coupling @ (deltas * vdd)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        noise = injected / totals
+    noise = np.nan_to_num(noise, nan=0.0)
+    noise[deltas != 0.0] = 0.0
+    return noise
+
+
+def worst_case_noise(cap_matrix: np.ndarray, vdd: float = 1.0) -> np.ndarray:
+    """Worst-case victim noise per line: all other lines switch together.
+
+    The classical worst case for a quiet victim is every aggressor toggling
+    in the same direction; the bound per line is then
+    ``vdd * (C_T,i - C_ii) / C_T,i``.
+    """
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    totals = total_capacitance(cap_matrix)
+    coupling_sum = totals - np.diag(cap_matrix)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = vdd * coupling_sum / totals
+    return np.nan_to_num(result, nan=0.0)
+
+
+@dataclass(frozen=True)
+class NoiseStatistics:
+    """Stream-level victim-noise summary.
+
+    Attributes
+    ----------
+    peak:
+        The largest victim noise seen anywhere in the stream [V].
+    peak_line:
+        Which line saw it.
+    mean:
+        Mean over all victim events (quiet line during a switching cycle).
+    exceed_fraction:
+        Fraction of victim events above ``threshold``.
+    threshold:
+        The threshold used for ``exceed_fraction`` [V].
+    """
+
+    peak: float
+    peak_line: int
+    mean: float
+    exceed_fraction: float
+    threshold: float
+
+
+def stream_noise_statistics(
+    cap_matrix: np.ndarray,
+    bits: np.ndarray,
+    vdd: float = 1.0,
+    threshold: float = 0.3,
+) -> NoiseStatistics:
+    """Victim-noise statistics of a physical line stream.
+
+    Evaluates :func:`victim_noise` for every cycle transition and
+    aggregates. ``threshold`` is the noise level counted as a violation
+    (default 0.3 Vdd, a common static noise margin).
+    """
+    bits = validate_bit_stream(bits)
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    n = cap_matrix.shape[0]
+    if bits.shape[1] != n:
+        raise ValueError("stream width does not match the capacitance matrix")
+    totals = total_capacitance(cap_matrix)
+    coupling = cap_matrix.copy()
+    np.fill_diagonal(coupling, 0.0)
+
+    deltas = np.diff(bits.astype(np.int8), axis=0).astype(float)
+    injected = deltas @ coupling.T * vdd
+    with np.errstate(divide="ignore", invalid="ignore"):
+        noise = np.abs(injected / totals[None, :])
+    noise = np.nan_to_num(noise, nan=0.0)
+    victims = deltas == 0.0
+    noise = np.where(victims, noise, 0.0)
+
+    flat_peak = int(np.argmax(noise))
+    peak_cycle, peak_line = np.unravel_index(flat_peak, noise.shape)
+    victim_values = noise[victims]
+    mean = float(victim_values.mean()) if victim_values.size else 0.0
+    exceed = (
+        float((victim_values > threshold).mean()) if victim_values.size else 0.0
+    )
+    return NoiseStatistics(
+        peak=float(noise[peak_cycle, peak_line]),
+        peak_line=int(peak_line),
+        mean=mean,
+        exceed_fraction=exceed,
+        threshold=threshold,
+    )

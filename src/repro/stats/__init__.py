@@ -1,0 +1,15 @@
+"""Bit-level statistics of data streams.
+
+``switching``
+    Empirical estimation of the quantities the power model consumes: self
+    switching probabilities ``E{db_i^2}``, coupling products
+    ``E{db_i db_j}`` and 1-bit probabilities ``E{b_i}``.
+``dbt``
+    The dual-bit-type analytic model (Landman/Rabaey) for AR(1) Gaussian
+    word streams, used to generate synthetic switching statistics without
+    sampling.
+"""
+
+from repro.stats.switching import BitStatistics
+
+__all__ = ["BitStatistics"]

@@ -1,0 +1,190 @@
+"""Capacitance extraction front-end.
+
+Everything above the TSV substrate (power model, optimizers, benchmarks)
+requests capacitance matrices through :class:`CapacitanceExtractor`, which
+
+* selects the extraction method — ``"fdm"`` (the reference field solver) or
+  ``"compact"`` (the calibrated E-field-sharing model);
+* handles the probability dependence of the matrix (the MOS effect);
+* memoizes results in memory and, optionally, on disk, because the FDM
+  solver costs seconds per matrix while benchmark sweeps ask for the same
+  geometry thousands of times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.tsv.arraycap import (
+    DEFAULT_PARAMETERS,
+    STRONG_EDGE_PARAMETERS,
+    CompactCapacitanceModel,
+    SharingParameters,
+)
+from repro.tsv.geometry import TSVArrayGeometry
+
+#: Environment variable overriding the on-disk cache location.
+CACHE_ENV_VAR = "REPRO_TSV_CACHE"
+
+#: Bump when solver defaults change in ways that invalidate cached matrices.
+_CACHE_VERSION = 2
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Directory for the on-disk extraction cache (None disables it)."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env == "":
+        return None
+    if env is not None:
+        return Path(env)
+    return Path.home() / ".cache" / "repro_tsv"
+
+
+class CapacitanceExtractor:
+    """Cached, probability-aware capacitance matrices for one TSV array.
+
+    Parameters
+    ----------
+    geometry:
+        The array to extract.
+    method:
+        ``"fdm"`` for the finite-difference reference solver, ``"compact"``
+        for the calibrated closed-form model, or ``"compact3d"`` for the
+        closed-form model with the 3-D-corrected environment profile
+        (stronger edge effect; what the experiment suite uses).
+    frequency:
+        Operating frequency for the FDM lossy-silicon permittivity [Hz].
+    resolution:
+        FDM grid spacing [m] (None = solver default).
+    parameters:
+        Sharing parameters for the compact model.
+    cache_dir:
+        Directory for the on-disk cache; None disables disk caching,
+        default follows :func:`default_cache_dir` (override with the
+        ``REPRO_TSV_CACHE`` environment variable; set it empty to disable).
+    probability_decimals:
+        Probabilities are rounded to this many decimals for cache keying
+        (capacitances vary slowly with probability).
+    """
+
+    def __init__(
+        self,
+        geometry: TSVArrayGeometry,
+        method: str = "fdm",
+        frequency: float = constants.F_CLOCK,
+        resolution: Optional[float] = None,
+        parameters: SharingParameters = DEFAULT_PARAMETERS,
+        cache_dir: Optional[Path] = None,
+        probability_decimals: int = 3,
+    ) -> None:
+        if method not in ("fdm", "compact", "compact3d"):
+            raise ValueError(f"unknown extraction method {method!r}")
+        self.geometry = geometry
+        self.method = method
+        if method == "compact3d" and parameters is DEFAULT_PARAMETERS:
+            parameters = STRONG_EDGE_PARAMETERS
+        self.frequency = frequency
+        self.resolution = resolution
+        self.parameters = parameters
+        self.cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self.probability_decimals = probability_decimals
+        self._memory_cache: Dict[Tuple, np.ndarray] = {}
+        self._compact_model: Optional[CompactCapacitanceModel] = None
+
+    # -- cache plumbing -------------------------------------------------------
+
+    def _key(self, probabilities: np.ndarray) -> Tuple:
+        probs = tuple(np.round(probabilities, self.probability_decimals))
+        return (
+            _CACHE_VERSION,
+            self.geometry.cache_key(),
+            self.method,
+            round(self.frequency, 3),
+            self.resolution,
+            self.parameters.as_array().tobytes()
+            if self.method.startswith("compact") else b"",
+            probs,
+        )
+
+    def _disk_path(self, key: Tuple) -> Optional[Path]:
+        if self.cache_dir is None or self.method != "fdm":
+            # The compact model is fast enough not to bother the disk.
+            return None
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
+        return Path(self.cache_dir) / f"cap_{digest}.npy"
+
+    # -- extraction -----------------------------------------------------------
+
+    def extract(
+        self, probabilities: Optional[Sequence[float]] = None
+    ) -> np.ndarray:
+        """SPICE-form capacitance matrix [F] for per-TSV 1-bit probabilities.
+
+        ``probabilities`` defaults to 0.5 everywhere (balanced data). The
+        returned array is a copy the caller may modify.
+        """
+        n = self.geometry.n_tsvs
+        if probabilities is None:
+            probabilities = np.full(n, 0.5)
+        probabilities = np.asarray(probabilities, dtype=float)
+        if probabilities.shape != (n,):
+            raise ValueError(f"need {n} probabilities, got {probabilities.shape}")
+
+        key = self._key(probabilities)
+        cached = self._memory_cache.get(key)
+        if cached is not None:
+            return cached.copy()
+
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            matrix = self._load_cached(path)
+            if matrix is not None:
+                self._memory_cache[key] = matrix
+                return matrix.copy()
+
+        matrix = self._compute(probabilities)
+        self._memory_cache[key] = matrix
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp.npy")
+            np.save(tmp, matrix)
+            os.replace(tmp, path)
+        return matrix.copy()
+
+    def _load_cached(self, path: Path) -> Optional[np.ndarray]:
+        """Read a cache entry; corrupt or wrong-shaped files are discarded
+        (and recomputed) rather than crashing the extraction."""
+        n = self.geometry.n_tsvs
+        try:
+            matrix = np.load(path)
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            return None
+        if (not isinstance(matrix, np.ndarray) or matrix.shape != (n, n)
+                or not np.isfinite(matrix).all()):
+            path.unlink(missing_ok=True)
+            return None
+        return matrix.astype(float)
+
+    def _compute(self, probabilities: np.ndarray) -> np.ndarray:
+        if self.method == "fdm":
+            from repro.tsv.fdm import FDMFieldSolver
+
+            solver = FDMFieldSolver(
+                self.geometry,
+                probabilities=probabilities,
+                frequency=self.frequency,
+                resolution=self.resolution,
+            )
+            return solver.capacitance_matrix()
+        if self._compact_model is None:
+            self._compact_model = CompactCapacitanceModel(
+                self.geometry, parameters=self.parameters
+            )
+        return self._compact_model.capacitance_matrix(probabilities)

@@ -1,0 +1,196 @@
+"""Geometry of regular M x N TSV arrays.
+
+The paper (Sec. 2) places cylindrical copper TSVs of radius ``r`` on a regular
+grid with centre-to-centre pitch ``d``, traversing a 50 um substrate. Each TSV
+carries a SiO2 liner of thickness ``r / 5``. This module captures that
+geometry plus the neighbour topology the power model and the systematic
+assignments reason about: direct neighbours (distance ``d``), diagonal
+neighbours (distance ``d * sqrt(2)``), and the corner / edge / middle
+position classes whose differing total capacitance drives the Spiral mapping.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro import constants
+
+
+class PositionClass(enum.Enum):
+    """Where a TSV sits in the array; determines its capacitive environment."""
+
+    CORNER = "corner"
+    EDGE = "edge"
+    MIDDLE = "middle"
+
+
+@dataclass(frozen=True)
+class TSVArrayGeometry:
+    """A regular ``rows x cols`` array of cylindrical TSVs.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions (``M x N`` in the paper). Both must be >= 1.
+    pitch:
+        Centre-to-centre distance ``d`` between direct neighbours [m].
+    radius:
+        TSV copper radius ``r`` [m].
+    length:
+        TSV length = substrate thickness [m]; the paper fixes 50 um.
+    oxide_thickness:
+        SiO2 liner thickness [m]; defaults to the paper's ``r / 5``.
+
+    TSV indices are row-major: index ``i = row * cols + col``.
+    """
+
+    rows: int
+    cols: int
+    pitch: float
+    radius: float
+    length: float = constants.TSV_LENGTH
+    oxide_thickness: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                f"array must be at least 1x1, got {self.rows}x{self.cols}"
+            )
+        if self.pitch <= 0.0 or self.radius <= 0.0 or self.length <= 0.0:
+            raise ValueError("pitch, radius and length must be positive")
+        if self.oxide_thickness < 0.0:
+            object.__setattr__(
+                self, "oxide_thickness", constants.oxide_thickness(self.radius)
+            )
+        outer = self.radius + self.oxide_thickness
+        if self.pitch < 2.0 * outer:
+            raise ValueError(
+                "pitch too small: TSVs (incl. liner) would overlap "
+                f"(pitch={self.pitch}, 2*(r+t_ox)={2.0 * outer})"
+            )
+
+    # -- basic sizes --------------------------------------------------------
+
+    @property
+    def n_tsvs(self) -> int:
+        """Number of TSVs in the array."""
+        return self.rows * self.cols
+
+    @property
+    def outer_radius(self) -> float:
+        """Radius of the copper core plus the SiO2 liner [m]."""
+        return self.radius + self.oxide_thickness
+
+    # -- index mapping ------------------------------------------------------
+
+    def index(self, row: int, col: int) -> int:
+        """Row-major index of the TSV at ``(row, col)``."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} array")
+        return row * self.cols + col
+
+    def row_col(self, index: int) -> Tuple[int, int]:
+        """Inverse of :meth:`index`."""
+        if not (0 <= index < self.n_tsvs):
+            raise IndexError(f"index {index} outside array of {self.n_tsvs} TSVs")
+        return divmod(index, self.cols)
+
+    def positions(self) -> np.ndarray:
+        """Centre coordinates, shape ``(n_tsvs, 2)``, origin at TSV 0 [m]."""
+        rows, cols = np.divmod(np.arange(self.n_tsvs), self.cols)
+        return np.column_stack((cols * self.pitch, rows * self.pitch))
+
+    # -- topology -----------------------------------------------------------
+
+    def position_class(self, index: int) -> PositionClass:
+        """Corner / edge / middle classification of one TSV.
+
+        In degenerate arrays (single row or column) the ends count as corners
+        and the interior as edge; a 1x1 array is a corner.
+        """
+        row, col = self.row_col(index)
+        on_row_border = row in (0, self.rows - 1)
+        on_col_border = col in (0, self.cols - 1)
+        if on_row_border and on_col_border:
+            return PositionClass.CORNER
+        if on_row_border or on_col_border:
+            return PositionClass.EDGE
+        return PositionClass.MIDDLE
+
+    def position_classes(self) -> List[PositionClass]:
+        """Classification of every TSV, in index order."""
+        return [self.position_class(i) for i in range(self.n_tsvs)]
+
+    def direct_neighbors(self, index: int) -> List[int]:
+        """Indices of the (up to 4) neighbours at distance ``pitch``."""
+        row, col = self.row_col(index)
+        result = []
+        for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                result.append(self.index(r, c))
+        return result
+
+    def diagonal_neighbors(self, index: int) -> List[int]:
+        """Indices of the (up to 4) neighbours at distance ``pitch*sqrt(2)``."""
+        row, col = self.row_col(index)
+        result = []
+        for dr, dc in ((-1, -1), (-1, 1), (1, -1), (1, 1)):
+            r, c = row + dr, col + dc
+            if 0 <= r < self.rows and 0 <= c < self.cols:
+                result.append(self.index(r, c))
+        return result
+
+    def neighbors(self, index: int) -> List[int]:
+        """Direct plus diagonal neighbours (the paper's "up to eight")."""
+        return self.direct_neighbors(index) + self.diagonal_neighbors(index)
+
+    def distance(self, i: int, j: int) -> float:
+        """Centre-to-centre distance between TSVs ``i`` and ``j`` [m]."""
+        ri, ci = self.row_col(i)
+        rj, cj = self.row_col(j)
+        return self.pitch * math.hypot(ri - rj, ci - cj)
+
+    def iter_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All unordered TSV pairs ``(i, j)`` with ``i < j``."""
+        for i in range(self.n_tsvs):
+            for j in range(i + 1, self.n_tsvs):
+                yield i, j
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def itrs_min_2018(cls, rows: int, cols: int) -> "TSVArrayGeometry":
+        """Array at the ITRS-2018 minimum dimensions (r=1 um, d=4 um)."""
+        return cls(
+            rows=rows,
+            cols=cols,
+            pitch=constants.PITCH_MIN_2018,
+            radius=constants.RADIUS_MIN_2018,
+        )
+
+    @classmethod
+    def large_2018(cls, rows: int, cols: int) -> "TSVArrayGeometry":
+        """Array at the paper's larger geometry (r=2 um, d=8 um)."""
+        return cls(
+            rows=rows,
+            cols=cols,
+            pitch=constants.PITCH_LARGE,
+            radius=constants.RADIUS_LARGE,
+        )
+
+    def cache_key(self) -> Tuple:
+        """Hashable key identifying this geometry for extraction caches."""
+        return (
+            self.rows,
+            self.cols,
+            round(self.pitch, 12),
+            round(self.radius, 12),
+            round(self.length, 12),
+            round(self.oxide_thickness, 12),
+        )

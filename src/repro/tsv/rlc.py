@@ -1,0 +1,139 @@
+"""TSV series parasitics and 3pi-RLC netlist generation (paper Sec. 2/7).
+
+For the final validation the paper extracts "full 3pi-RLC circuits of the
+TSV arrays" and simulates them in Spectre. This module does the same for
+our transient engine:
+
+* series resistance of the copper cylinder, ``R = rho l / (pi r^2)``;
+* partial self-inductance of a cylindrical conductor,
+  ``L = mu0 l / (2 pi) (ln(2l/r) - 1)``;
+* an n-pi ladder (default 3pi): the TSV is split into ``n`` series R-L
+  segments with the ground and coupling capacitances distributed over the
+  ``n + 1`` intermediate nodes in the classic 1/(2n), 1/n, ..., 1/(2n)
+  pattern. Mutual inductances between TSVs are neglected — at the paper's
+  3 GHz clock the capacitive coupling dominates the power.
+
+:func:`build_array_netlist` wires one driver per line at the top node and a
+receiver load at the bottom node, producing a netlist the
+:class:`~repro.circuit.transient.TransientSolver` can integrate directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.circuit.driver import DriverModel
+from repro.circuit.netlist import Netlist
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+def tsv_resistance(geometry: TSVArrayGeometry) -> float:
+    """DC series resistance of one TSV [Ohm]."""
+    area = math.pi * geometry.radius**2
+    return constants.RHO_COPPER * geometry.length / area
+
+
+def tsv_inductance(geometry: TSVArrayGeometry) -> float:
+    """Partial self-inductance of one TSV [H]."""
+    l, r = geometry.length, geometry.radius
+    return constants.MU_0 * l / (2.0 * math.pi) * (math.log(2.0 * l / r) - 1.0)
+
+
+def _node(line: int, segment: int):
+    """Internal node naming: (line, ladder position)."""
+    return ("tsv", line, segment)
+
+
+def build_array_netlist(
+    geometry: TSVArrayGeometry,
+    cap_matrix: np.ndarray,
+    bit_streams: np.ndarray,
+    driver: DriverModel,
+    cycle_time: float,
+    n_segments: int = 3,
+    receiver_capacitance: float = 0.5e-15,
+    inverted: Optional[Sequence[bool]] = None,
+) -> Netlist:
+    """Full driver + n-pi RLC + receiver netlist for a TSV array.
+
+    Parameters
+    ----------
+    geometry:
+        The array (sets R and L of each TSV).
+    cap_matrix:
+        SPICE-form capacitance matrix [F] (total, full TSV length).
+    bit_streams:
+        Physical line data, shape ``(cycles, n_tsvs)`` — apply the
+        assignment's routing *before* calling (or pass ``inverted`` to let
+        the inverting drivers handle the inversions).
+    driver:
+        Driver template; per-line inverting variants are derived from it.
+    cycle_time:
+        Clock period [s].
+    n_segments:
+        Number of pi sections (3 reproduces the paper's model).
+    receiver_capacitance:
+        Load at the far end of each TSV [F].
+    inverted:
+        Per-line flags selecting inverting drivers.
+    """
+    cap_matrix = np.asarray(cap_matrix, dtype=float)
+    n = geometry.n_tsvs
+    if cap_matrix.shape != (n, n):
+        raise ValueError("capacitance matrix does not match the array")
+    bit_streams = np.asarray(bit_streams)
+    if bit_streams.ndim != 2 or bit_streams.shape[1] != n:
+        raise ValueError(f"bit stream must have shape (cycles, {n})")
+    if n_segments < 1:
+        raise ValueError("n_segments must be >= 1")
+    if inverted is None:
+        inverted = [False] * n
+    if len(inverted) != n:
+        raise ValueError("inverted flags must match the line count")
+
+    netlist = Netlist()
+    r_seg = tsv_resistance(geometry) / n_segments
+    l_seg = tsv_inductance(geometry) / n_segments
+
+    # Capacitance distribution weights over the n+1 ladder nodes.
+    weights = np.full(n_segments + 1, 1.0 / n_segments)
+    weights[0] = weights[-1] = 1.0 / (2.0 * n_segments)
+
+    for line in range(n):
+        drv = DriverModel(
+            strength=driver.strength,
+            unit_resistance=driver.unit_resistance,
+            unit_input_capacitance=driver.unit_input_capacitance,
+            unit_leakage=driver.unit_leakage,
+            rise_time=driver.rise_time,
+            vdd=driver.vdd,
+            inverting=bool(inverted[line]),
+        )
+        drv.attach(
+            netlist, _node(line, 0), bit_streams[:, line], cycle_time,
+            name=f"line{line}",
+        )
+        for seg in range(n_segments):
+            mid = ("tsv", line, seg, "rl")
+            netlist.resistor(_node(line, seg), mid, r_seg)
+            netlist.inductor(mid, _node(line, seg + 1), l_seg)
+        netlist.capacitor(
+            _node(line, n_segments), 0, receiver_capacitance
+        )
+
+    for seg in range(n_segments + 1):
+        for i in range(n):
+            ground_part = cap_matrix[i, i] * weights[seg]
+            if ground_part > 0.0:
+                netlist.capacitor(_node(i, seg), 0, ground_part)
+            for j in range(i + 1, n):
+                coupling_part = cap_matrix[i, j] * weights[seg]
+                if coupling_part > 0.0:
+                    netlist.capacitor(
+                        _node(i, seg), _node(j, seg), coupling_part
+                    )
+    return netlist

@@ -1,0 +1,117 @@
+"""Tests for the AC (phasor) solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import ACSolver
+from repro.circuit.driver import DriverModel
+from repro.circuit.netlist import Netlist
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+from repro.tsv.rlc import build_array_netlist
+
+
+def rc_lowpass(r=1e3, c=1e-12):
+    net = Netlist()
+    net.voltage_source("in", 0, 1.0, name="src")
+    net.resistor("in", "out", r)
+    net.capacitor("out", 0, c)
+    return net
+
+
+class TestBasics:
+    def test_dc_gain_is_unity(self):
+        res = ACSolver(rc_lowpass()).sweep(np.array([1.0]))
+        assert abs(res.voltage("out")[0]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_pole_frequency(self):
+        r, c = 1e3, 1e-12
+        pole = 1.0 / (2.0 * math.pi * r * c)
+        res = ACSolver(rc_lowpass(r, c)).sweep(np.array([pole]))
+        # At the pole the magnitude is 1/sqrt(2).
+        assert abs(res.voltage("out")[0]) == pytest.approx(
+            1.0 / math.sqrt(2.0), rel=1e-6
+        )
+
+    def test_bandwidth_matches_theory(self):
+        r, c = 2e3, 0.5e-12
+        pole = 1.0 / (2.0 * math.pi * r * c)
+        freqs = np.logspace(math.log10(pole) - 2, math.log10(pole) + 2, 2000)
+        res = ACSolver(rc_lowpass(r, c)).sweep(freqs)
+        assert res.bandwidth_3db("out") == pytest.approx(pole, rel=0.01)
+
+    def test_bandwidth_inf_when_flat(self):
+        net = Netlist()
+        net.voltage_source("in", 0, 1.0, name="src")
+        net.resistor("in", "out", 1.0)
+        net.resistor("out", 0, 1e9)
+        res = ACSolver(net).sweep(np.logspace(3, 6, 10))
+        assert res.bandwidth_3db("out") == float("inf")
+
+    def test_input_impedance_of_rc(self):
+        r, c = 1e3, 1e-12
+        res = ACSolver(rc_lowpass(r, c)).sweep(np.array([1e3]))
+        z = res.input_impedance("src")[0]
+        # At 1 kHz the capacitor is ~160 MOhm: Z ~ R + 1/(jwC).
+        expected = r + 1.0 / (1j * 2.0 * math.pi * 1e3 * c)
+        assert z == pytest.approx(expected, rel=1e-3)
+
+    def test_rlc_resonance_peak(self):
+        net = Netlist()
+        net.voltage_source("in", 0, 1.0, name="src")
+        net.resistor("in", "a", 5.0)
+        net.inductor("a", "out", 1e-9)
+        net.capacitor("out", 0, 1e-12)
+        f0 = 1.0 / (2.0 * math.pi * math.sqrt(1e-9 * 1e-12))
+        res = ACSolver(net).sweep(np.array([f0 / 10.0, f0]))
+        assert abs(res.voltage("out")[1]) > 2.0 * abs(res.voltage("out")[0])
+
+    def test_sweep_validation(self):
+        solver = ACSolver(rc_lowpass())
+        with pytest.raises(ValueError):
+            solver.sweep(np.array([]))
+        with pytest.raises(ValueError):
+            solver.sweep(np.array([-1.0]))
+
+    def test_missing_source(self):
+        res = ACSolver(rc_lowpass()).sweep(np.array([1e6]))
+        with pytest.raises(KeyError):
+            res.source_current("nope")
+
+
+class TestPiLadderConvergence:
+    """The ablation behind the paper's 3pi choice."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        geometry = TSVArrayGeometry(rows=1, cols=2, pitch=8e-6, radius=2e-6)
+        cap = CapacitanceExtractor(geometry, method="compact").extract()
+        bits = np.array([[1, 0]], dtype=np.uint8)
+        driver = DriverModel()
+
+        def response(n_segments, freqs):
+            net = build_array_netlist(
+                geometry, cap, bits, driver, 1e-9, n_segments=n_segments
+            )
+            res = ACSolver(net).sweep(freqs)
+            return np.abs(res.voltage(("tsv", 0, n_segments)))
+
+        return response
+
+    def test_all_models_agree_at_clock_frequency(self, setup):
+        freqs = np.array([3e9])
+        h1 = setup(1, freqs)[0]
+        h3 = setup(3, freqs)[0]
+        h5 = setup(5, freqs)[0]
+        assert h1 == pytest.approx(h3, rel=0.01)
+        assert h3 == pytest.approx(h5, rel=0.01)
+
+    def test_three_pi_converged_where_one_pi_is_not(self, setup):
+        freqs = np.array([300e9])
+        h1 = setup(1, freqs)[0]
+        h3 = setup(3, freqs)[0]
+        h5 = setup(5, freqs)[0]
+        assert h3 == pytest.approx(h5, rel=0.1)       # 3pi ~ converged
+        assert abs(h1 - h5) > 3.0 * abs(h3 - h5)       # 1pi is not

@@ -1,0 +1,185 @@
+"""Tests for the driver model and the event-based energy model, including
+the cross-validation against the transient engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.driver import DriverModel
+from repro.circuit.energy import EnergyModel
+from repro.circuit.transient import TransientSolver
+from repro.core.power import normalized_power
+from repro.stats.switching import BitStatistics
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+from repro.tsv.rlc import build_array_netlist, tsv_inductance, tsv_resistance
+
+
+class TestDriverModel:
+    def test_scaling_with_strength(self):
+        weak = DriverModel(strength=1.0)
+        strong = DriverModel(strength=6.0)
+        assert strong.on_resistance == pytest.approx(weak.on_resistance / 6.0)
+        assert strong.input_capacitance == pytest.approx(
+            6.0 * weak.input_capacitance
+        )
+        assert strong.leakage_current == pytest.approx(
+            6.0 * weak.leakage_current
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriverModel(strength=0.0)
+        with pytest.raises(ValueError):
+            DriverModel(rise_time=0.0)
+
+    def test_inverting_output_levels(self):
+        bits = np.array([0, 1, 1, 0])
+        plain = DriverModel().output_levels(bits)
+        inv = DriverModel(inverting=True).output_levels(bits)
+        np.testing.assert_allclose(plain + inv, 1.0)
+
+    def test_waveform_holds_and_ramps(self):
+        drv = DriverModel(rise_time=10e-12)
+        wave = drv.waveform(np.array([0, 1]), cycle_time=100e-12)
+        assert wave(0.0) == 0.0
+        assert wave(99e-12) == 0.0
+        assert 0.0 < wave(105e-12) < 1.0
+        assert wave(150e-12) == 1.0
+        assert wave(1e-9) == 1.0  # past the stream: hold last level
+
+    def test_waveform_rejects_short_cycle(self):
+        drv = DriverModel(rise_time=10e-12)
+        with pytest.raises(ValueError):
+            drv.waveform(np.array([0, 1]), cycle_time=5e-12)
+
+
+class TestEnergyModel:
+    def test_single_line_rise_costs_cv2(self):
+        c = np.array([[1e-15]])
+        model = EnergyModel(c)
+        bits = np.array([[0], [1], [1], [0]], dtype=np.uint8)
+        energies = model.cycle_energies(bits)
+        # rise: C V^2; hold: 0; fall: 0 (ground rail does no work).
+        np.testing.assert_allclose(energies, [1e-15, 0.0, 0.0])
+
+    def test_opposite_toggle_costs_2cv2(self):
+        c = np.zeros((2, 2))
+        c[0, 1] = c[1, 0] = 1e-15
+        model = EnergyModel(c)
+        bits = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        np.testing.assert_allclose(model.cycle_energies(bits), [2e-15])
+
+    def test_common_mode_toggle_is_free(self):
+        c = np.zeros((2, 2))
+        c[0, 1] = c[1, 0] = 1e-15
+        model = EnergyModel(c)
+        bits = np.array([[0, 0], [1, 1]], dtype=np.uint8)
+        np.testing.assert_allclose(model.cycle_energies(bits), [0.0])
+
+    def test_energy_recovery_can_be_negative(self):
+        # Victim holds 1 while aggressor rises: coupling charge returns to
+        # the victim's rail.
+        c = np.zeros((2, 2))
+        c[0, 1] = c[1, 0] = 1e-15
+        model = EnergyModel(c)
+        bits = np.array([[0, 1], [1, 1]], dtype=np.uint8)
+        energies = model.cycle_energies(bits)
+        assert len(energies) == 1
+        # Aggressor pays CV^2, victim recovers CV^2: net zero.
+        np.testing.assert_allclose(energies, [0.0], atol=1e-30)
+
+    def test_mean_power_includes_leakage(self):
+        c = np.array([[1e-15]])
+        drv = DriverModel()
+        model = EnergyModel(c, driver=drv)
+        bits = np.zeros((10, 1), dtype=np.uint8)
+        power = model.mean_power(bits, frequency=1e9)
+        assert power == pytest.approx(model.leakage_power())
+        assert model.leakage_power() == pytest.approx(
+            drv.leakage_current * 1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(np.zeros((2, 3)))
+        model = EnergyModel(np.eye(2) * 1e-15)
+        with pytest.raises(ValueError):
+            model.cycle_energies(np.zeros((5, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            model.mean_power(np.zeros((5, 2), dtype=np.uint8), frequency=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(0, 2**31 - 1))
+def test_event_model_equals_t_c_product(n, seed):
+    """The stream-mean event energy must reproduce P_n = <T, C> up to the
+    stored-energy boundary term (O(1/samples))."""
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(0.1, 1.0, (n, n))
+    c = (c + c.T) / 2.0
+    bits = (rng.random((3000, n)) < rng.uniform(0.3, 0.7, n)).astype(np.uint8)
+    event = EnergyModel(c).normalized_power(bits)
+    model = normalized_power(BitStatistics.from_stream(bits), c)
+    assert event == pytest.approx(model, rel=5e-3, abs=1e-3)
+
+
+class TestRLCExtraction:
+    @pytest.fixture(scope="class")
+    def geom(self):
+        return TSVArrayGeometry(rows=1, cols=2, pitch=8e-6, radius=2e-6)
+
+    def test_resistance_magnitude(self, geom):
+        # 50 um copper cylinder of 2 um radius: tens of milliohm.
+        r = tsv_resistance(geom)
+        assert 0.01 < r < 1.0
+
+    def test_inductance_magnitude(self, geom):
+        l = tsv_inductance(geom)
+        assert 10e-12 < l < 100e-12
+
+    def test_netlist_validation(self, geom):
+        cap = CapacitanceExtractor(geom, method="compact").extract()
+        bits = np.zeros((4, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            build_array_netlist(geom, np.eye(3), bits, DriverModel(), 1e-9)
+        with pytest.raises(ValueError):
+            build_array_netlist(geom, cap, bits[:, :1], DriverModel(), 1e-9)
+        with pytest.raises(ValueError):
+            build_array_netlist(geom, cap, bits, DriverModel(), 1e-9,
+                                n_segments=0)
+        with pytest.raises(ValueError):
+            build_array_netlist(geom, cap, bits, DriverModel(), 1e-9,
+                                inverted=[True])
+
+    def test_transient_validates_event_model(self, geom):
+        """Full driver + 3pi-RLC transient run against the event-based
+        energy, with a near-ideal (fast) driver ramp. This is the in-repo
+        equivalent of the paper's Spectre cross-check."""
+        cap = CapacitanceExtractor(geom, method="compact").extract()
+        rng = np.random.default_rng(7)
+        bits = (rng.random((24, 2)) < 0.5).astype(np.uint8)
+        cycle = 1.0 / 3e9
+        driver = DriverModel(rise_time=1e-12, unit_input_capacitance=0.0)
+        netlist = build_array_netlist(
+            geom, cap, bits, driver, cycle, receiver_capacitance=1e-18
+        )
+        solver = TransientSolver(netlist, timestep=cycle / 2000)
+        result = solver.run(len(bits) * cycle)
+        e_transient = result.total_supply_energy()
+        e_event = EnergyModel(cap, driver=driver).cycle_energies(bits).sum()
+        assert e_transient == pytest.approx(e_event, rel=0.03)
+
+    def test_inverting_drivers_flip_the_wire_data(self, geom):
+        cap = CapacitanceExtractor(geom, method="compact").extract()
+        bits = np.array([[1, 0]] * 4, dtype=np.uint8)
+        cycle = 1.0 / 1e9
+        netlist = build_array_netlist(
+            geom, cap, bits, DriverModel(), cycle, inverted=[True, False]
+        )
+        solver = TransientSolver(netlist, timestep=cycle / 100)
+        result = solver.run(len(bits) * cycle)
+        v0 = result.voltage(("tsv", 0, 3))[-1]  # far end of line 0
+        v1 = result.voltage(("tsv", 1, 3))[-1]
+        assert v0 == pytest.approx(0.0, abs=0.05)  # bit 1 inverted -> low
+        assert v1 == pytest.approx(0.0, abs=0.05)

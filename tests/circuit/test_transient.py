@@ -1,0 +1,146 @@
+"""Tests for the MNA assembly and the trapezoidal transient engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import assemble
+from repro.circuit.netlist import Netlist
+from repro.circuit.transient import TransientSolver
+
+
+def step(level=1.0, at=0.0):
+    return lambda t: level if t >= at else 0.0
+
+
+class TestNetlist:
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Netlist().validate()
+
+    def test_validate_rejects_floating(self):
+        net = Netlist()
+        net.resistor("a", "b", 1.0)
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_component_value_checks(self):
+        net = Netlist()
+        with pytest.raises(ValueError):
+            net.resistor("a", 0, -1.0)
+        with pytest.raises(ValueError):
+            net.capacitor("a", 0, 0.0)
+        with pytest.raises(ValueError):
+            net.inductor("a", 0, -2.0)
+
+    def test_nodes_order_and_ground_excluded(self):
+        net = Netlist()
+        net.resistor("x", 0, 1.0)
+        net.resistor("x", "y", 1.0)
+        assert net.nodes() == ["x", "y"]
+
+    def test_source_by_name(self):
+        net = Netlist()
+        src = net.voltage_source("a", 0, 1.0, name="vdd_a")
+        assert net.source_by_name("vdd_a") is src
+        assert net.source_by_name("nope") is None
+
+
+class TestMNA:
+    def test_resistive_divider_dc(self):
+        net = Netlist()
+        net.voltage_source("in", 0, 2.0, name="src")
+        net.resistor("in", "mid", 1.0e3)
+        net.resistor("mid", 0, 1.0e3)
+        solver = TransientSolver(net, timestep=1e-9)
+        x = solver.dc_operating_point()
+        system = assemble(net)
+        assert x[system.voltage_index("mid")] == pytest.approx(1.0, rel=1e-6)
+
+    def test_voltage_index_rejects_ground(self):
+        net = Netlist()
+        net.voltage_source("a", 0, 1.0)
+        net.resistor("a", 0, 1.0)
+        system = assemble(net)
+        with pytest.raises(ValueError):
+            system.voltage_index(0)
+
+
+class TestTransient:
+    def test_rc_charging_curve(self):
+        r, c = 1.0e3, 1.0e-12
+        net = Netlist()
+        net.voltage_source("in", 0, step(1.0, at=1e-12), name="src")
+        net.resistor("in", "out", r)
+        net.capacitor("out", 0, c)
+        solver = TransientSolver(net, timestep=1e-12)
+        result = solver.run(1.2e-8)
+        tau = r * c
+        k = np.searchsorted(result.time, 1e-12 + tau)
+        v_at_tau = result.voltage("out")[k]
+        assert v_at_tau == pytest.approx(1.0 - math.exp(-1.0), abs=0.02)
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_rc_supply_energy_is_cv2(self):
+        net = Netlist()
+        net.voltage_source("in", 0, step(1.0, at=1e-12), name="vdd_src")
+        net.resistor("in", "out", 1.0e3)
+        net.capacitor("out", 0, 1.0e-12)
+        solver = TransientSolver(net, timestep=1e-12)
+        result = solver.run(2e-8)
+        assert result.source_energy("vdd_src") == pytest.approx(1e-12, rel=0.01)
+        assert result.total_supply_energy("vdd") == pytest.approx(1e-12, rel=0.01)
+
+    def test_rlc_resonance_ringing(self):
+        # Underdamped series RLC must overshoot the step.
+        net = Netlist()
+        net.voltage_source("in", 0, step(1.0, at=1e-12), name="src")
+        net.resistor("in", "a", 10.0)
+        net.inductor("a", "out", 1e-9)
+        net.capacitor("out", 0, 1e-12)
+        solver = TransientSolver(net, timestep=2e-13)
+        result = solver.run(2e-8)
+        vout = result.voltage("out")
+        assert vout.max() > 1.2
+        assert vout[-1] == pytest.approx(1.0, abs=0.02)
+
+    def test_coupling_capacitor_transfers_glitch(self):
+        # A step on the aggressor must couple onto the floating-ish victim.
+        net = Netlist()
+        net.voltage_source("in", 0, step(1.0, at=1e-11), name="src")
+        net.resistor("in", "agg", 100.0)
+        net.capacitor("agg", "vic", 1e-12)
+        net.resistor("vic", 0, 10e3)
+        solver = TransientSolver(net, timestep=1e-12)
+        result = solver.run(1e-8)
+        assert result.voltage("vic").max() > 0.3
+
+    def test_current_source(self):
+        net = Netlist()
+        net.current_source("out", 0, 1e-3)
+        net.resistor("out", 0, 1.0e3)
+        solver = TransientSolver(net, timestep=1e-10)
+        x = solver.dc_operating_point()
+        system = assemble(net)
+        assert x[system.voltage_index("out")] == pytest.approx(1.0, rel=1e-6)
+
+    def test_validation(self):
+        net = Netlist()
+        net.voltage_source("a", 0, 1.0)
+        net.resistor("a", 0, 1.0)
+        with pytest.raises(ValueError):
+            TransientSolver(net, timestep=-1.0)
+        solver = TransientSolver(net, timestep=1e-12)
+        with pytest.raises(ValueError):
+            solver.run(0.0)
+        with pytest.raises(ValueError):
+            solver.run(1e-9, initial_state=np.zeros(99))
+
+    def test_missing_source_name(self):
+        net = Netlist()
+        net.voltage_source("a", 0, 1.0, name="src")
+        net.resistor("a", 0, 1.0)
+        result = TransientSolver(net, timestep=1e-12).run(1e-11)
+        with pytest.raises(KeyError):
+            result.source_current("other")

@@ -1,0 +1,141 @@
+"""Tests for the crosstalk-avoidance codebooks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.cac import (
+    Codebook,
+    adjacency_pairs,
+    build_lat_codebook,
+    smallest_array_for_payload,
+)
+from repro.si.delay import effective_capacitance
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+def geom(rows=3, cols=3):
+    return TSVArrayGeometry(rows=rows, cols=cols, pitch=4e-6, radius=1e-6)
+
+
+class TestAdjacency:
+    def test_pair_count_3x3(self):
+        pairs = adjacency_pairs(geom())
+        assert len(pairs) == 12  # 6 horizontal + 6 vertical
+        assert all(i < j for i, j in pairs)
+
+    def test_diagonals_add_pairs(self):
+        with_diag = adjacency_pairs(geom(), include_diagonal=True)
+        assert len(with_diag) == 12 + 8
+
+
+class TestBuild:
+    def test_3x3_codebook_size(self):
+        codebook = build_lat_codebook(geom())
+        assert len(codebook.codewords) >= 32  # at least 5 payload bits
+        assert codebook.payload_bits >= 5
+        codebook.check()
+
+    def test_no_opposite_adjacent_transitions(self):
+        codebook = build_lat_codebook(geom(2, 2))
+        bits = np.array(
+            [[(w >> k) & 1 for k in range(4)] for w in codebook.codewords],
+            dtype=np.int8,
+        )
+        pairs = adjacency_pairs(geom(2, 2))
+        for a in range(len(bits)):
+            for b in range(len(bits)):
+                delta = bits[b] - bits[a]
+                for i, j in pairs:
+                    assert delta[i] * delta[j] != -1
+
+    def test_refuses_huge_arrays(self):
+        with pytest.raises(ValueError):
+            build_lat_codebook(geom(4, 4), max_lines=10)
+
+    def test_diagonal_constraint_shrinks_codebook(self):
+        plain = build_lat_codebook(geom())
+        strict = build_lat_codebook(geom(), include_diagonal=True)
+        assert len(strict.codewords) <= len(plain.codewords)
+
+
+class TestCodebookUse:
+    @pytest.fixture(scope="class")
+    def codebook(self):
+        return build_lat_codebook(geom())
+
+    def test_roundtrip(self, codebook):
+        rng = np.random.default_rng(0)
+        payload = rng.integers(0, 1 << codebook.payload_bits, 500)
+        coded = codebook.encode(payload)
+        np.testing.assert_array_equal(codebook.decode(coded), payload)
+
+    def test_encode_rejects_overflow(self, codebook):
+        with pytest.raises(ValueError):
+            codebook.encode(np.array([1 << codebook.payload_bits]))
+        with pytest.raises(ValueError):
+            codebook.encode(np.array([-1]))
+
+    def test_decode_rejects_non_codeword(self, codebook):
+        non_words = set(range(1 << 9)) - set(codebook.codewords)
+        bad = next(iter(non_words))
+        with pytest.raises(ValueError):
+            codebook.decode(np.array([bad]))
+
+    def test_overhead(self, codebook):
+        assert codebook.overhead == pytest.approx(9 / codebook.payload_bits)
+
+    def test_empty_payload_overhead_is_inf(self):
+        cb = Codebook(codewords=(0,), n_lines=2, pairs=((0, 1),))
+        assert cb.overhead == float("inf")
+
+    def test_bounds_miller_capacitance(self, codebook):
+        """The point of the code: no 2x-Miller event on adjacent TSVs, so
+        the worst effective capacitance over codeword transitions is lower
+        than the unconstrained worst case."""
+        from repro.tsv.extractor import CapacitanceExtractor
+
+        g = geom()
+        cap = CapacitanceExtractor(g, method="compact").extract()
+        rng = np.random.default_rng(1)
+        payload = rng.integers(0, 1 << codebook.payload_bits, 300)
+        bits = codebook.to_bits(codebook.encode(payload))
+        deltas = np.unique(np.diff(bits.astype(np.int8), axis=0), axis=0)
+        worst_coded = max(
+            float(effective_capacitance(cap, d.astype(float)).max())
+            for d in deltas if d.any()
+        )
+        # Unconstrained anti-parallel worst case on the same array.
+        from repro.si.delay import worst_case_delay_pattern
+
+        worst_plain = max(
+            float(effective_capacitance(
+                cap, worst_case_delay_pattern(cap, line)
+            )[line])
+            for line in range(9)
+        )
+        assert worst_coded < 0.8 * worst_plain
+
+
+class TestSmallestArray:
+    def test_finds_array_for_small_payloads(self):
+        geometry, codebook = smallest_array_for_payload(4, 4e-6, 1e-6)
+        assert codebook.payload_bits >= 4
+        assert geometry.n_tsvs > 4  # redundancy is unavoidable
+
+    def test_rejects_impossible_payload(self):
+        with pytest.raises(ValueError):
+            smallest_array_for_payload(12, 4e-6, 1e-6, max_lines=10)
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(ValueError):
+            smallest_array_for_payload(0, 4e-6, 1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_random_payload_roundtrip_2x2(seed):
+    codebook = build_lat_codebook(geom(2, 2))
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 1 << codebook.payload_bits, 50)
+    assert (codebook.decode(codebook.encode(payload)) == payload).all()

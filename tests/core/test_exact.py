@@ -1,0 +1,117 @@
+"""Tests for the exact branch-and-bound / inversion solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import (
+    alternating_exact,
+    branch_and_bound,
+    optimal_inversions,
+)
+from repro.core.optimize import exhaustive_search
+from repro.core.power import PowerModel
+from repro.stats.switching import BitStatistics
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+def instance(n=6, seed=0, rows=2):
+    geom = TSVArrayGeometry(rows=rows, cols=n // rows, pitch=8e-6,
+                            radius=2e-6)
+    cap = CapacitanceExtractor(geom, method="compact").extract()
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((400, n)) < rng.uniform(0.2, 0.8, n)).astype(np.uint8)
+    stats = BitStatistics.from_stream(bits)
+    return stats, cap
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_exhaustive(self, seed):
+        stats, cap = instance(6, seed)
+        model = PowerModel(stats, cap)
+        exact = exhaustive_search(model.power, 6, with_inversions=False)
+        assignment, cost, nodes = branch_and_bound(stats, cap)
+        assert cost == pytest.approx(exact.power, rel=1e-12)
+        assert model.power(assignment) == pytest.approx(cost, rel=1e-12)
+        assert nodes < 720  # strictly fewer nodes than enumeration
+
+    def test_respects_fixed_inversions(self):
+        stats, cap = instance(4, 5, rows=2)
+        inverted = (True, False, True, False)
+        assignment, cost, _ = branch_and_bound(stats, cap, inverted=inverted)
+        assert assignment.inverted == inverted
+        model = PowerModel(stats, cap)
+        assert model.power(assignment) == pytest.approx(cost, rel=1e-12)
+
+    def test_node_limit(self):
+        stats, cap = instance(6, 0)
+        with pytest.raises(RuntimeError):
+            branch_and_bound(stats, cap, node_limit=3)
+
+    def test_size_validation(self):
+        stats, cap = instance(6, 0)
+        with pytest.raises(ValueError):
+            branch_and_bound(stats, np.eye(4))
+        with pytest.raises(ValueError):
+            branch_and_bound(stats, cap, inverted=(False,) * 3)
+
+
+class TestOptimalInversions:
+    def test_matches_pinned_exhaustive(self):
+        stats, cap = instance(5, 7, rows=1)
+        from repro.core.assignment import AssignmentConstraints
+
+        model = PowerModel(stats, cap)
+        line_of_bit = [2, 0, 4, 1, 3]
+        constraints = AssignmentConstraints(
+            pinned={b: l for b, l in enumerate(line_of_bit)}
+        )
+        exact = exhaustive_search(
+            model.power, 5, with_inversions=True, constraints=constraints
+        )
+        assignment, cost = optimal_inversions(stats, cap, line_of_bit)
+        assert cost == pytest.approx(exact.power, rel=1e-12)
+        assert assignment.line_of_bit == tuple(line_of_bit)
+
+    def test_respects_invertible_subset(self):
+        stats, cap = instance(4, 8, rows=2)
+        assignment, _ = optimal_inversions(
+            stats, cap, [0, 1, 2, 3], invertible=[1]
+        )
+        assert not assignment.inverted[0]
+        assert not assignment.inverted[2]
+        assert not assignment.inverted[3]
+
+    def test_refuses_huge_enumeration(self):
+        stats, cap = instance(4, 0, rows=2)
+        with pytest.raises(ValueError):
+            optimal_inversions(stats, cap, [0, 1, 2, 3], max_bits=2)
+
+    def test_never_worse_than_no_inversions(self):
+        stats, cap = instance(6, 9)
+        model = PowerModel(stats, cap)
+        from repro.core.assignment import SignedPermutation
+
+        base = SignedPermutation.identity(6)
+        _, cost = optimal_inversions(stats, cap, base.line_of_bit)
+        assert cost <= model.power(base) + 1e-25
+
+
+class TestAlternating:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_close_to_joint_optimum(self, seed):
+        stats, cap = instance(6, seed)
+        model = PowerModel(stats, cap)
+        exact = exhaustive_search(model.power, 6, with_inversions=True)
+        assignment, cost = alternating_exact(stats, cap)
+        assert model.power(assignment) == pytest.approx(cost, rel=1e-12)
+        assert cost <= exact.power * 1.05  # within a few percent, often exact
+
+    def test_beats_unsigned_optimum(self):
+        # With inversions available the result can only improve on the
+        # unsigned branch-and-bound optimum.
+        stats, cap = instance(6, 2)
+        _, unsigned_cost, _ = branch_and_bound(stats, cap)
+        _, signed_cost = alternating_exact(stats, cap)
+        assert signed_cost <= unsigned_cost + 1e-25

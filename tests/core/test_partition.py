@@ -1,0 +1,124 @@
+"""Tests for wide-bus partitioning across TSV bundles."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    PartitionedReport,
+    optimize_partitioned,
+    partition_bits,
+)
+from repro.datagen.gaussian import gaussian_bit_stream
+from repro.datagen.util import interleave_streams
+from repro.stats.switching import BitStatistics
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+class TestPartitionBits:
+    def test_contiguous(self):
+        groups = partition_bits(8, [4, 4], strategy="contiguous")
+        assert groups == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_interleaved(self):
+        groups = partition_bits(6, [3, 3], strategy="interleaved")
+        assert groups == [[0, 2, 4], [1, 3, 5]]
+
+    def test_unequal_sizes(self):
+        groups = partition_bits(7, [4, 3], strategy="contiguous")
+        assert [len(g) for g in groups] == [4, 3]
+        assert sorted(sum(groups, [])) == list(range(7))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            partition_bits(8, [4, 3])
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            partition_bits(8, [4, 4], strategy="magic")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            partition_bits(4, [4, 0])
+
+    def test_correlation_requires_stats(self):
+        with pytest.raises(ValueError):
+            partition_bits(8, [4, 4], strategy="correlation")
+
+    def test_correlation_groups_correlated_bits(self):
+        # Two independent 4-bit Gaussian words interleaved on the bus:
+        # bits {0,2,4,6} belong to word A, {1,3,5,7} to word B. The
+        # correlation clustering must recover the two words.
+        rng = np.random.default_rng(0)
+        a = gaussian_bit_stream(6000, 4, sigma=4.0, rho=0.9, rng=rng)
+        b = gaussian_bit_stream(6000, 4, sigma=4.0, rho=0.9, rng=rng)
+        bus = np.empty((6000, 8), dtype=np.uint8)
+        bus[:, 0::2] = a
+        bus[:, 1::2] = b
+        stats = BitStatistics.from_stream(bus)
+        groups = partition_bits(8, [4, 4], strategy="correlation",
+                                stats=stats)
+        parities = [{bit % 2 for bit in group} for group in groups]
+        assert parities == [{0}, {1}] or parities == [{1}, {0}]
+
+    def test_groups_always_form_partition(self):
+        rng = np.random.default_rng(1)
+        bits = (rng.random((500, 9)) < 0.5).astype(np.uint8)
+        stats = BitStatistics.from_stream(bits)
+        for strategy in ("contiguous", "interleaved", "correlation"):
+            groups = partition_bits(9, [4, 5], strategy=strategy,
+                                    stats=stats)
+            flat = sorted(sum(groups, []))
+            assert flat == list(range(9))
+
+
+class TestOptimizePartitioned:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(2)
+        words_a = gaussian_bit_stream(3000, 9, sigma=16.0, rho=0.7, rng=rng)
+        words_b = gaussian_bit_stream(3000, 9, sigma=16.0, rho=0.7, rng=rng)
+        bus = np.concatenate([words_a, words_b], axis=1)
+        geometries = [
+            TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6),
+            TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6),
+        ]
+        return bus, geometries
+
+    def test_aggregate_report(self, setup):
+        bus, geometries = setup
+        report = optimize_partitioned(
+            bus, geometries, strategy="contiguous",
+            baseline_samples=30, rng=np.random.default_rng(0),
+        )
+        assert isinstance(report, PartitionedReport)
+        assert len(report.reports) == 2
+        assert report.total_power == pytest.approx(
+            sum(r.power for r in report.reports)
+        )
+        assert 0.0 < report.reduction_vs_random < 1.0
+
+    def test_bit_lookup(self, setup):
+        bus, geometries = setup
+        report = optimize_partitioned(
+            bus, geometries, strategy="contiguous", method="spiral",
+            baseline_samples=10, rng=np.random.default_rng(0),
+        )
+        array_index, line = report.bit_to_array_line(0)
+        assert array_index == 0 and 0 <= line < 9
+        array_index, _ = report.bit_to_array_line(17)
+        assert array_index == 1
+        with pytest.raises(ValueError):
+            report.bit_to_array_line(99)
+
+    def test_correlation_strategy_not_worse_than_interleaved(self, setup):
+        """Keeping each word's bits together preserves the exploitable
+        coupling structure; scattering them across bundles destroys it."""
+        bus, geometries = setup
+        kwargs = dict(baseline_samples=40, rng=np.random.default_rng(0))
+        together = optimize_partitioned(
+            bus, geometries, strategy="correlation", **kwargs
+        )
+        scattered = optimize_partitioned(
+            bus, geometries, strategy="interleaved", **kwargs
+        )
+        assert together.total_power <= scattered.total_power * 1.02

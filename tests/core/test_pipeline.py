@@ -1,0 +1,130 @@
+"""Tests for the high-level optimize/evaluate pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.pipeline import (
+    build_power_model,
+    evaluate_assignment,
+    optimize_assignment,
+    random_baseline_power,
+)
+from repro.datagen.gaussian import gaussian_bit_stream
+from repro.stats.switching import BitStatistics
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(5)
+    geom = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+    bits = gaussian_bit_stream(4000, 9, sigma=16.0, rho=0.5, rng=rng)
+    return geom, bits
+
+
+class TestBuildPowerModel:
+    def test_accepts_stats_or_stream(self, setup):
+        geom, bits = setup
+        from_stream = build_power_model(bits, geom, cap_method="compact")
+        from_stats = build_power_model(
+            BitStatistics.from_stream(bits), geom, cap_method="compact"
+        )
+        assert from_stream.power() == pytest.approx(from_stats.power())
+
+    def test_rejects_size_mismatch(self, setup):
+        geom, bits = setup
+        with pytest.raises(ValueError):
+            build_power_model(bits[:, :4], geom, cap_method="compact")
+
+    def test_mos_aware_toggle(self, setup):
+        geom, bits = setup
+        aware = build_power_model(bits, geom, cap_method="compact",
+                                  mos_aware=True)
+        fixed = build_power_model(bits, geom, cap_method="compact",
+                                  mos_aware=False)
+        assert aware.cap_model is not None
+        assert fixed.cap_matrix is not None
+
+
+class TestRandomBaseline:
+    def test_mean_not_above_worst(self, setup):
+        geom, bits = setup
+        model = build_power_model(bits, geom, cap_method="compact")
+        mean, worst = random_baseline_power(model, n_samples=50)
+        assert mean <= worst
+
+    def test_deterministic_with_seed(self, setup):
+        geom, bits = setup
+        model = build_power_model(bits, geom, cap_method="compact")
+        a = random_baseline_power(model, n_samples=20,
+                                  rng=np.random.default_rng(1))
+        b = random_baseline_power(model, n_samples=20,
+                                  rng=np.random.default_rng(1))
+        assert a == b
+
+
+class TestOptimizeAssignment:
+    def test_rejects_unknown_method(self, setup):
+        geom, bits = setup
+        with pytest.raises(ValueError):
+            optimize_assignment(bits, geom, method="fancy")
+
+    def test_optimal_beats_systematics_and_identity(self, setup):
+        geom, bits = setup
+        reports = {
+            m: optimize_assignment(
+                bits, geom, method=m, cap_method="compact",
+                rng=np.random.default_rng(0), baseline_samples=50,
+            )
+            for m in ("optimal", "spiral", "sawtooth", "identity")
+        }
+        best = reports["optimal"].power
+        for method, report in reports.items():
+            assert best <= report.power + 1e-25, method
+
+    def test_reduction_metrics(self, setup):
+        geom, bits = setup
+        report = optimize_assignment(
+            bits, geom, method="optimal", cap_method="compact",
+            rng=np.random.default_rng(0), baseline_samples=50,
+        )
+        assert 0.0 < report.reduction_vs_random < 1.0
+        assert report.reduction_vs_worst >= report.reduction_vs_random - 1e-12
+
+    def test_constraints_forwarded(self, setup):
+        geom, bits = setup
+        constraints = AssignmentConstraints(
+            no_invert=frozenset(range(9)), pinned={8: 4}
+        )
+        report = optimize_assignment(
+            bits, geom, method="optimal", cap_method="compact",
+            constraints=constraints, rng=np.random.default_rng(0),
+            baseline_samples=20,
+        )
+        assert constraints.allows(report.assignment)
+
+    def test_shared_extractor_is_used(self, setup):
+        geom, bits = setup
+        extractor = CapacitanceExtractor(geom, method="compact")
+        report = optimize_assignment(
+            bits, geom, method="spiral", extractor=extractor,
+            baseline_samples=10,
+        )
+        assert report.method == "spiral"
+
+
+class TestEvaluateAssignment:
+    def test_identity_matches_optimize_identity(self, setup):
+        geom, bits = setup
+        via_optimize = optimize_assignment(
+            bits, geom, method="identity", cap_method="compact",
+            rng=np.random.default_rng(0), baseline_samples=30,
+        )
+        via_evaluate = evaluate_assignment(
+            SignedPermutation.identity(9), bits, geom, cap_method="compact",
+            rng=np.random.default_rng(0), baseline_samples=30,
+        )
+        assert via_evaluate.power == pytest.approx(via_optimize.power)
+        assert via_evaluate.method == "user"

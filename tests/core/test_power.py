@@ -1,0 +1,203 @@
+"""Tests for the P_n = <T, C> power model and its transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import SignedPermutation
+from repro.core.power import PowerModel, normalized_power
+from repro.stats.switching import BitStatistics
+from repro.tsv.capmodel import LinearCapacitanceModel
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+def stats_from_seed(n, seed, samples=200):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((samples, n)) < rng.uniform(0.2, 0.8, n)).astype(np.uint8)
+    return BitStatistics.from_stream(bits)
+
+
+def random_spd_capacitance(n, seed):
+    rng = np.random.default_rng(seed)
+    c = rng.uniform(0.0, 1.0, (n, n))
+    c = (c + c.T) / 2.0
+    return c
+
+
+class TestNormalizedPower:
+    def test_matches_frobenius_definition(self):
+        stats = stats_from_seed(5, 0)
+        cap = random_spd_capacitance(5, 1)
+        direct = float(np.sum(stats.t_matrix * cap))
+        assert normalized_power(stats, cap) == pytest.approx(direct)
+
+    def test_matches_eq1_expansion(self):
+        # Eq. 1: sum_i E{db_i^2} C_ii + sum_{i != j} E{db_i^2 - db_i db_j} C_ij.
+        stats = stats_from_seed(4, 2)
+        cap = random_spd_capacitance(4, 3)
+        expected = 0.0
+        for i in range(4):
+            expected += stats.self_switching[i] * cap[i, i]
+            for j in range(4):
+                if j != i:
+                    expected += (
+                        stats.self_switching[i] - stats.coupling[i, j]
+                    ) * cap[i, j]
+        assert normalized_power(stats, cap) == pytest.approx(expected)
+
+    def test_rejects_size_mismatch(self):
+        stats = stats_from_seed(3, 0)
+        with pytest.raises(ValueError):
+            normalized_power(stats, np.eye(4))
+
+    def test_matches_transition_energy_ground_truth(self):
+        """P_n equals the average per-cycle charge-based energy, computed
+        transition by transition from the capacitance network."""
+        rng = np.random.default_rng(42)
+        n = 4
+        bits = (rng.random((2000, n)) < 0.5).astype(np.uint8)
+        stats = BitStatistics.from_stream(bits)
+        cap = random_spd_capacitance(n, 5)
+
+        deltas = np.diff(bits.astype(np.int8), axis=0).astype(float)
+        total = 0.0
+        for db in deltas:
+            # Ground capacitances: energy_n ~ db_i^2 * C_ii.
+            total += float(np.sum(db**2 * np.diag(cap)))
+            # Coupling capacitances: ~ (db_i - db_j)^2 / 2 * C_ij per
+            # unordered pair = db_i^2 - db_i db_j summed over ordered pairs.
+            for i in range(n):
+                for j in range(n):
+                    if i != j:
+                        total += (db[i] ** 2 - db[i] * db[j]) * cap[i, j]
+        expected = total / len(deltas)
+        assert normalized_power(stats, cap) == pytest.approx(expected)
+
+
+class TestPowerModel:
+    def test_identity_matches_normalized_power(self):
+        stats = stats_from_seed(5, 7)
+        cap = random_spd_capacitance(5, 8)
+        model = PowerModel(stats, cap)
+        assert model.power() == pytest.approx(normalized_power(stats, cap))
+
+    def test_rejects_size_mismatch(self):
+        stats = stats_from_seed(3, 0)
+        with pytest.raises(ValueError):
+            PowerModel(stats, np.eye(4))
+
+    def test_power_watts_scaling(self):
+        stats = stats_from_seed(3, 1)
+        cap = random_spd_capacitance(3, 2)
+        model = PowerModel(stats, cap)
+        pn = model.power()
+        assert model.power_watts(vdd=1.0, frequency=2.0) == pytest.approx(pn)
+        assert model.power_watts(vdd=2.0, frequency=2.0) == pytest.approx(4 * pn)
+
+    def test_assignment_equals_explicit_congruence(self):
+        """model.power(A) must equal <A T A^T, C> with explicit matrices."""
+        rng = np.random.default_rng(11)
+        n = 5
+        stats = stats_from_seed(n, 12)
+        cap = random_spd_capacitance(n, 13)
+        model = PowerModel(stats, cap)
+        perm = SignedPermutation.from_sequence(
+            rng.permutation(n), rng.integers(0, 2, n).astype(bool)
+        )
+        a = perm.matrix()
+        ones = np.ones((n, n))
+        t_prime = a @ stats.t_s @ a.T @ ones - a @ stats.t_c @ a.T
+        expected = float(np.sum(t_prime * cap))
+        assert model.power(perm) == pytest.approx(expected)
+
+    def test_mos_aware_power_uses_eq9(self):
+        """With a linear capacitance model, the assignment also transforms C
+        according to Eq. 9; check against the explicit matrix algebra."""
+        geom = TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6)
+        extractor = CapacitanceExtractor(geom, method="compact")
+        lin = LinearCapacitanceModel.fit(extractor)
+        stats = stats_from_seed(4, 21)
+        model = PowerModel(stats, lin)
+        rng = np.random.default_rng(22)
+        perm = SignedPermutation.from_sequence(
+            rng.permutation(4), rng.integers(0, 2, 4).astype(bool)
+        )
+        a = perm.matrix()
+        n = 4
+        ones = np.ones((n, n))
+        eps = (stats.probabilities - 0.5).reshape(-1, 1)
+        c_prime = lin.c_r + lin.delta_c * (
+            (a @ eps) @ np.ones((1, n)) + np.ones((n, 1)) @ (a @ eps).T
+        )
+        t_prime = a @ stats.t_s @ a.T @ ones - a @ stats.t_c @ a.T
+        expected = float(np.sum(t_prime * c_prime))
+        assert model.power(perm) == pytest.approx(expected, rel=1e-12)
+
+    def test_inverting_anticorrelated_pair_lowers_power(self):
+        """The paper's core argument: negated transmission of one bit of a
+        negatively correlated pair reduces the coupling power."""
+        n = 2
+        stats = BitStatistics.from_moments(
+            self_switching=np.array([0.5, 0.5]),
+            coupling=np.array([[0.5, -0.4], [-0.4, 0.5]]),
+            probabilities=np.array([0.5, 0.5]),
+        )
+        cap = np.array([[1.0, 2.0], [2.0, 1.0]])
+        model = PowerModel(stats, cap)
+        plain = model.power()
+        inverted = model.power(
+            SignedPermutation.from_sequence([0, 1], [True, False])
+        )
+        assert inverted < plain
+
+    def test_raising_one_probability_lowers_power_via_mos(self):
+        """With the MOS model, inverting a mostly-0 stable bit (making it
+        mostly-1) widens its depletion region and lowers the power."""
+        geom = TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6)
+        extractor = CapacitanceExtractor(geom, method="compact")
+        lin = LinearCapacitanceModel.fit(extractor)
+        stats = BitStatistics.from_moments(
+            self_switching=np.array([0.5, 0.5, 0.5, 0.0]),
+            coupling=np.zeros((4, 4)),
+            probabilities=np.array([0.5, 0.5, 0.5, 0.0]),  # bit 3 stable at 0
+        )
+        model = PowerModel(stats, lin)
+        plain = model.power()
+        inverted = model.power(
+            SignedPermutation.from_sequence(
+                [0, 1, 2, 3], [False, False, False, True]
+            )
+        )
+        assert inverted < plain
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+def test_power_invariant_under_simultaneous_relabeling(n, seed):
+    """Permuting both the statistics and the capacitance matrix with the
+    same (unsigned) permutation leaves P_n unchanged."""
+    rng = np.random.default_rng(seed)
+    stats = stats_from_seed(n, seed)
+    cap = random_spd_capacitance(n, seed + 1)
+    perm = SignedPermutation.from_sequence(rng.permutation(n))
+    order = np.asarray(perm.bit_of_line)
+    permuted_stats = perm.apply_to_statistics(stats)
+    permuted_cap = cap[np.ix_(order, order)]
+    assert normalized_power(permuted_stats, permuted_cap) == pytest.approx(
+        normalized_power(stats, cap)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 5), st.integers(0, 2**31 - 1))
+def test_double_inversion_is_identity(n, seed):
+    stats = stats_from_seed(n, seed)
+    cap = random_spd_capacitance(n, seed + 2)
+    model = PowerModel(stats, cap)
+    flip_all = SignedPermutation.from_sequence(range(n), [True] * n)
+    double = flip_all.compose(flip_all)
+    assert double == SignedPermutation.identity(n)
+    # With balanced-probability C (fixed matrix), inverting every bit leaves
+    # the coupling signs pairwise unchanged, hence the power too.
+    assert model.power(flip_all) == pytest.approx(model.power())

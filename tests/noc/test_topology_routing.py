@@ -1,0 +1,111 @@
+"""Tests for the 3-D mesh topology and XYZ routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.routing import ORDERS, path_links, xyz_route
+from repro.noc.topology import Link, MeshTopology
+
+
+class TestLink:
+    def test_vertical_flag(self):
+        assert Link((0, 0, 0), (0, 0, 1)).vertical
+        assert not Link((0, 0, 0), (1, 0, 0)).vertical
+
+    def test_rejects_non_adjacent(self):
+        with pytest.raises(ValueError):
+            Link((0, 0, 0), (2, 0, 0))
+        with pytest.raises(ValueError):
+            Link((0, 0, 0), (1, 1, 0))
+        with pytest.raises(ValueError):
+            Link((0, 0, 0), (0, 0, 0))
+
+
+class TestMesh:
+    def test_counts(self):
+        topo = MeshTopology(3, 2, 2)
+        assert topo.n_routers == 12
+        # Directed links: x: 2*2*2*2=8... count via formula below.
+        expected = 2 * (
+            (topo.nx - 1) * topo.ny * topo.nz
+            + topo.nx * (topo.ny - 1) * topo.nz
+            + topo.nx * topo.ny * (topo.nz - 1)
+        )
+        assert len(topo.links()) == expected
+
+    def test_vertical_links_count(self):
+        topo = MeshTopology(2, 2, 3)
+        assert len(topo.vertical_links()) == 2 * 2 * 2 * 2  # 2 per pair, 2 pairs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeshTopology(0, 2, 2)
+        topo = MeshTopology(2, 2, 2)
+        with pytest.raises(ValueError):
+            topo.node_index((5, 0, 0))
+        with pytest.raises(ValueError):
+            topo.neighbors((0, 0, 9))
+
+    def test_node_index_bijection(self):
+        topo = MeshTopology(3, 2, 2)
+        indices = {topo.node_index(n) for n in topo.nodes()}
+        assert indices == set(range(12))
+
+    def test_corner_has_three_neighbors(self):
+        topo = MeshTopology(3, 3, 3)
+        assert len(topo.neighbors((0, 0, 0))) == 3
+        assert len(topo.neighbors((1, 1, 1))) == 6
+
+
+class TestRouting:
+    def test_known_path_xyz(self):
+        topo = MeshTopology(3, 3, 2)
+        path = xyz_route(topo, (0, 0, 0), (2, 1, 1), order="xyz")
+        assert path == [
+            (0, 0, 0), (1, 0, 0), (2, 0, 0), (2, 1, 0), (2, 1, 1),
+        ]
+
+    def test_zxy_crosses_stack_first(self):
+        topo = MeshTopology(3, 3, 2)
+        path = xyz_route(topo, (0, 0, 0), (2, 1, 1), order="zxy")
+        assert path[1] == (0, 0, 1)
+
+    def test_self_route(self):
+        topo = MeshTopology(2, 2, 2)
+        assert xyz_route(topo, (1, 1, 1), (1, 1, 1)) == [(1, 1, 1)]
+
+    def test_rejects_unknown_order(self):
+        topo = MeshTopology(2, 2, 2)
+        with pytest.raises(ValueError):
+            xyz_route(topo, (0, 0, 0), (1, 1, 1), order="yzx")
+
+    def test_rejects_outside_nodes(self):
+        topo = MeshTopology(2, 2, 2)
+        with pytest.raises(ValueError):
+            xyz_route(topo, (0, 0, 0), (5, 0, 0))
+
+    def test_path_links(self):
+        hops = path_links([(0, 0, 0), (1, 0, 0), (1, 1, 0)])
+        assert hops == [((0, 0, 0), (1, 0, 0)), ((1, 0, 0), (1, 1, 0))]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dims=st.tuples(st.integers(1, 4), st.integers(1, 4), st.integers(1, 3)),
+    seed=st.integers(0, 2**31 - 1),
+    order=st.sampled_from(ORDERS),
+)
+def test_route_is_minimal_and_valid(dims, seed, order):
+    """Routes are shortest paths made of valid adjacent hops."""
+    topo = MeshTopology(*dims)
+    rng = np.random.default_rng(seed)
+    nodes = list(topo.nodes())
+    src = nodes[rng.integers(len(nodes))]
+    dst = nodes[rng.integers(len(nodes))]
+    path = xyz_route(topo, src, dst, order=order)
+    assert path[0] == src and path[-1] == dst
+    manhattan = sum(abs(a - b) for a, b in zip(src, dst))
+    assert len(path) == manhattan + 1
+    for a, b in path_links(path):
+        Link(a, b)  # raises if not adjacent

@@ -1,0 +1,69 @@
+"""Tests for the effective-capacitance / Elmore delay analysis."""
+
+import numpy as np
+import pytest
+
+from repro.si.delay import (
+    effective_capacitance,
+    elmore_delay,
+    worst_case_delay,
+    worst_case_delay_pattern,
+)
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+def cap_2(coupling=1e-15, ground=2e-15):
+    return np.array([[ground, coupling], [coupling, ground]])
+
+
+class TestEffectiveCapacitance:
+    def test_miller_classes(self):
+        c = cap_2()
+        # Victim rises alone (aggressor quiet): 1x coupling.
+        alone = effective_capacitance(c, np.array([1.0, 0.0]))
+        assert alone[0] == pytest.approx(2e-15 + 1e-15)
+        assert alone[1] == 0.0
+        # Both rise together: coupling cancels (0x).
+        together = effective_capacitance(c, np.array([1.0, 1.0]))
+        assert together[0] == pytest.approx(2e-15)
+        # Anti-parallel: 2x coupling.
+        opposite = effective_capacitance(c, np.array([1.0, -1.0]))
+        assert opposite[0] == pytest.approx(2e-15 + 2e-15)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            effective_capacitance(np.eye(2), np.zeros(3))
+
+    def test_worst_pattern(self):
+        deltas = worst_case_delay_pattern(np.eye(3), 1)
+        np.testing.assert_allclose(deltas, [-1.0, 1.0, -1.0])
+
+
+class TestElmore:
+    def test_positive_and_monotone(self):
+        geom = TSVArrayGeometry(rows=1, cols=2, pitch=8e-6, radius=2e-6)
+        d1 = elmore_delay(geom, 10e-15, driver_resistance=1e3)
+        d2 = elmore_delay(geom, 20e-15, driver_resistance=1e3)
+        assert 0.0 < d1 < d2
+
+    def test_validation(self):
+        geom = TSVArrayGeometry(rows=1, cols=2, pitch=8e-6, radius=2e-6)
+        with pytest.raises(ValueError):
+            elmore_delay(geom, -1.0, 1e3)
+        with pytest.raises(ValueError):
+            elmore_delay(geom, 1e-15, 0.0)
+
+    def test_worst_case_delay_exceeds_isolated(self):
+        geom = TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6)
+        from repro.tsv.extractor import CapacitanceExtractor
+
+        cap = CapacitanceExtractor(geom, method="compact").extract()
+        worst = worst_case_delay(geom, cap, driver_resistance=1.5e3)
+        quiet = elmore_delay(
+            geom,
+            effective_capacitance(cap, np.array([1.0, 0, 0, 0]))[0],
+            driver_resistance=1.5e3,
+        )
+        assert worst > quiet
+        # Sub-nanosecond for these tiny loads.
+        assert worst < 1e-9

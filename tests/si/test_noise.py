@@ -1,0 +1,113 @@
+"""Tests for the crosstalk-noise analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Netlist
+from repro.circuit.transient import TransientSolver
+from repro.si.noise import (
+    stream_noise_statistics,
+    victim_noise,
+    worst_case_noise,
+)
+
+
+def two_line_cap(coupling=2e-15, ground=1e-15):
+    c = np.array([[ground, coupling], [coupling, ground]])
+    return c
+
+
+class TestVictimNoise:
+    def test_capacitive_divider(self):
+        c = two_line_cap()
+        noise = victim_noise(c, np.array([1.0, 0.0]))
+        # Victim (line 1): C_c / (C_c + C_g) = 2/3.
+        assert noise[1] == pytest.approx(2.0 / 3.0)
+        assert noise[0] == 0.0  # aggressor is driven
+
+    def test_falling_aggressor_negative_noise(self):
+        c = two_line_cap()
+        noise = victim_noise(c, np.array([-1.0, 0.0]))
+        assert noise[1] == pytest.approx(-2.0 / 3.0)
+
+    def test_aggressors_add(self):
+        c = np.full((3, 3), 1e-15)
+        np.fill_diagonal(c, 1e-15)
+        both = victim_noise(c, np.array([1.0, 1.0, 0.0]))
+        single = victim_noise(c, np.array([1.0, 0.0, 0.0]))
+        assert both[2] == pytest.approx(2.0 * single[2])
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            victim_noise(np.eye(2), np.zeros(3))
+
+    def test_scales_with_vdd(self):
+        c = two_line_cap()
+        assert victim_noise(c, np.array([1.0, 0.0]), vdd=2.0)[1] == (
+            pytest.approx(4.0 / 3.0)
+        )
+
+
+class TestWorstCase:
+    def test_bound_matches_all_aggressors(self):
+        c = np.full((4, 4), 0.5e-15)
+        np.fill_diagonal(c, 2e-15)
+        bound = worst_case_noise(c)
+        deltas = np.ones(4)
+        for victim in range(4):
+            deltas_v = deltas.copy()
+            deltas_v[victim] = 0.0
+            assert victim_noise(c, deltas_v)[victim] == pytest.approx(
+                bound[victim]
+            )
+
+    def test_bound_below_vdd(self):
+        rng = np.random.default_rng(0)
+        c = rng.uniform(0.1, 1.0, (5, 5))
+        c = (c + c.T) / 2.0
+        assert (worst_case_noise(c) < 1.0).all()
+
+
+class TestStreamStatistics:
+    def test_known_stream(self):
+        c = two_line_cap()
+        bits = np.array([[0, 0], [1, 0], [1, 0], [0, 0]], dtype=np.uint8)
+        stats = stream_noise_statistics(c, bits)
+        assert stats.peak == pytest.approx(2.0 / 3.0)
+        assert stats.peak_line == 1
+        # Victim events: line1 in cycles 1,2,3 and line0 in cycle 2.
+        assert stats.exceed_fraction == pytest.approx(2.0 / 4.0)
+
+    def test_quiet_stream_no_noise(self):
+        c = two_line_cap()
+        bits = np.ones((5, 2), dtype=np.uint8)
+        stats = stream_noise_statistics(c, bits)
+        assert stats.peak == 0.0
+        assert stats.mean == 0.0
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            stream_noise_statistics(np.eye(3), np.zeros((4, 2), dtype=np.uint8))
+
+    def test_against_transient_simulation(self):
+        """The capacitive-divider peak must match a real transient run with
+        a slow victim holder and a fast aggressor."""
+        coupling, ground = 2e-15, 1e-15
+        net = Netlist()
+        net.voltage_source("agg_src", 0,
+                           lambda t: 0.0 if t < 1e-12 else 1.0, name="agg")
+        net.resistor("agg_src", "agg", 10.0)          # fast aggressor
+        net.resistor("vic", 0, 1e9)                    # nearly floating victim
+        net.capacitor("agg", "vic", coupling)
+        net.capacitor("vic", 0, ground)
+        net.capacitor("agg", 0, ground)
+        solver = TransientSolver(net, timestep=5e-14)
+        result = solver.run(2e-10)
+        # Compare the settled divider plateau (the hard step excites a small
+        # trapezoidal-rule ripple right at the edge, which is numerical).
+        simulated_plateau = result.voltage("vic")[-1]
+        predicted = victim_noise(
+            np.array([[ground, coupling], [coupling, ground]]),
+            np.array([1.0, 0.0]),
+        )[1]
+        assert simulated_plateau == pytest.approx(predicted, rel=0.02)

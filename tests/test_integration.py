@@ -1,0 +1,179 @@
+"""Cross-module integration tests.
+
+These tie the layers together: the statistical power model must agree with
+the event-based circuit energy on the *physically routed* stream; coded
+links must decode after crossing the modelled array; the public pipeline
+must be deterministic under seeding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    AssignmentConstraints,
+    BitStatistics,
+    CapacitanceExtractor,
+    PowerModel,
+    SignedPermutation,
+    TSVArrayGeometry,
+    optimize_assignment,
+)
+from repro.circuit.energy import EnergyModel
+from repro.coding.correlator import correlate_words, decorrelate_words
+from repro.coding.gray import gray_decode_words, gray_encode_words
+from repro.datagen.gaussian import gaussian_bit_stream
+from repro.datagen.util import bits_to_words, words_to_bits
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+
+
+@pytest.fixture(scope="module")
+def cap(geometry):
+    return CapacitanceExtractor(geometry, method="compact").extract()
+
+
+class TestModelEnergyConsistency:
+    """P_n predicted from statistics == measured on the routed stream."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_prediction_matches_measurement(self, geometry, cap, seed):
+        rng = np.random.default_rng(seed)
+        bits = gaussian_bit_stream(8000, 9, sigma=16.0, rho=0.4, rng=rng)
+        stats = BitStatistics.from_stream(bits)
+        model = PowerModel(stats, cap)
+        assignment = SignedPermutation.random(9, rng, with_inversions=True)
+
+        predicted = model.power(assignment)
+        routed = assignment.apply_to_bits(bits)
+        measured = EnergyModel(cap).normalized_power(routed)
+        assert measured == pytest.approx(predicted, rel=2e-3)
+
+    def test_optimized_assignment_really_saves_energy(self, geometry, cap):
+        """The whole point, measured end to end on the physical stream."""
+        rng = np.random.default_rng(7)
+        bits = gaussian_bit_stream(8000, 9, sigma=16.0, rho=0.6, rng=rng)
+        report = optimize_assignment(
+            bits, geometry, method="optimal", cap_method="compact",
+            mos_aware=False, rng=np.random.default_rng(0),
+            baseline_samples=30,
+        )
+        energy = EnergyModel(cap)
+        optimized = energy.normalized_power(
+            report.assignment.apply_to_bits(bits)
+        )
+        baseline = np.mean([
+            energy.normalized_power(
+                SignedPermutation.random(9, rng).apply_to_bits(bits)
+            )
+            for _ in range(20)
+        ])
+        assert optimized < baseline
+        assert 1.0 - optimized / baseline == pytest.approx(
+            report.reduction_vs_random, abs=0.05
+        )
+
+
+class TestCodedLinkRoundTrip:
+    """Data survives coding -> assignment -> wires -> inverse path."""
+
+    def test_gray_link(self, geometry):
+        rng = np.random.default_rng(1)
+        payload = rng.integers(0, 512, 500)
+        coded = gray_encode_words(payload, 9, negated=True)
+        bits = words_to_bits(coded, 9)
+        assignment = SignedPermutation.random(9, rng, with_inversions=True)
+        wires = assignment.apply_to_bits(bits)
+        # Receiver: undo routing/inversions, then decode.
+        received_bits = assignment.inverse().apply_to_bits(wires)
+        received = gray_decode_words(
+            bits_to_words(received_bits), 9, negated=True
+        )
+        np.testing.assert_array_equal(received, payload)
+
+    def test_correlator_link(self, geometry):
+        rng = np.random.default_rng(2)
+        payload = rng.integers(0, 256, 400)
+        coded = correlate_words(payload, 8, n_channels=4, negated=True)
+        bits = words_to_bits(coded, 8)
+        assignment = SignedPermutation.random(8, rng, with_inversions=True)
+        wires = assignment.apply_to_bits(bits)
+        received_bits = assignment.inverse().apply_to_bits(wires)
+        received = decorrelate_words(
+            bits_to_words(received_bits), 8, n_channels=4, negated=True
+        )
+        np.testing.assert_array_equal(received, payload)
+
+
+class TestPipelineDeterminism:
+    def test_same_seed_same_report(self, geometry):
+        rng_bits = np.random.default_rng(3)
+        bits = gaussian_bit_stream(3000, 9, sigma=16.0, rho=0.5, rng=rng_bits)
+        a = optimize_assignment(
+            bits, geometry, cap_method="compact",
+            rng=np.random.default_rng(11), baseline_samples=20,
+        )
+        b = optimize_assignment(
+            bits, geometry, cap_method="compact",
+            rng=np.random.default_rng(11), baseline_samples=20,
+        )
+        assert a.assignment == b.assignment
+        assert a.power == b.power
+
+    def test_constraints_respected_end_to_end(self, geometry):
+        bits = gaussian_bit_stream(
+            3000, 9, sigma=16.0, rho=0.5, rng=np.random.default_rng(4)
+        )
+        constraints = AssignmentConstraints(
+            no_invert=frozenset({8}), pinned={8: 4}
+        )
+        report = optimize_assignment(
+            bits, geometry, cap_method="compact", constraints=constraints,
+            rng=np.random.default_rng(0), baseline_samples=20,
+        )
+        assert report.assignment.line_of_bit[8] == 4
+        assert not report.assignment.inverted[8]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+def test_routing_roundtrip_property(n, seed):
+    """inverse() undoes apply_to_bits for any stream and assignment."""
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((40, n)) < 0.5).astype(np.uint8)
+    assignment = SignedPermutation.from_sequence(
+        rng.permutation(n), rng.integers(0, 2, n).astype(bool)
+    )
+    wires = assignment.apply_to_bits(bits)
+    back = assignment.inverse().apply_to_bits(wires)
+    np.testing.assert_array_equal(back, bits)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_power_invariant_to_data_relabeling(seed):
+    """Relabeling the *data* bits and compensating the assignment leaves
+    the physical power unchanged (gauge invariance of the pipeline)."""
+    rng = np.random.default_rng(seed)
+    n = 6
+    geometry = TSVArrayGeometry(rows=2, cols=3, pitch=8e-6, radius=2e-6)
+    cap = CapacitanceExtractor(geometry, method="compact").extract()
+    bits = (rng.random((300, n)) < 0.5).astype(np.uint8)
+    stats = BitStatistics.from_stream(bits)
+    model = PowerModel(stats, cap)
+
+    assignment = SignedPermutation.from_sequence(
+        rng.permutation(n), rng.integers(0, 2, n).astype(bool)
+    )
+    relabel = SignedPermutation.from_sequence(
+        rng.permutation(n), rng.integers(0, 2, n).astype(bool)
+    )
+    relabeled_stats = relabel.apply_to_statistics(stats)
+    compensated = assignment.compose(relabel.inverse())
+    model_relabeled = PowerModel(relabeled_stats, cap)
+    assert model_relabeled.power(compensated) == pytest.approx(
+        model.power(assignment), rel=1e-9
+    )

@@ -1,0 +1,67 @@
+"""Tests for result/assignment serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import SignedPermutation
+from repro.experiments.common import ExperimentRow
+from repro.reporting import (
+    assignment_from_dict,
+    assignment_from_json,
+    assignment_to_dict,
+    assignment_to_json,
+    rows_to_csv,
+    rows_to_json,
+    rows_to_records,
+)
+
+
+@pytest.fixture()
+def rows():
+    return [
+        ExperimentRow("alpha", {"optimal": 0.25, "spiral": 0.1}),
+        ExperimentRow("beta", {"optimal": 0.5, "extra": 1.0}),
+    ]
+
+
+class TestRows:
+    def test_records(self, rows):
+        records = rows_to_records(rows)
+        assert records[0] == {"label": "alpha", "optimal": 0.25, "spiral": 0.1}
+        assert records[1]["extra"] == 1.0
+
+    def test_json_roundtrip(self, rows):
+        parsed = json.loads(rows_to_json(rows))
+        assert len(parsed) == 2
+        assert parsed[0]["label"] == "alpha"
+
+    def test_csv_union_columns(self, rows):
+        text = rows_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "label,optimal,spiral,extra"
+        assert lines[1].startswith("alpha,0.25,0.1,")
+        assert lines[2].endswith("1.0")
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+
+class TestAssignments:
+    def test_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        assignment = SignedPermutation.random(6, rng, with_inversions=True)
+        again = assignment_from_dict(assignment_to_dict(assignment))
+        assert again == assignment
+
+    def test_json_roundtrip(self):
+        assignment = SignedPermutation.from_sequence([2, 0, 1], [True, False, False])
+        again = assignment_from_json(assignment_to_json(assignment))
+        assert again == assignment
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ValueError):
+            assignment_from_dict({"line_of_bit": [0, 0], "inverted": [False, False]})
+        with pytest.raises(ValueError):
+            assignment_from_dict({"nope": 1})

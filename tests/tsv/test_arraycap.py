@@ -1,0 +1,129 @@
+"""Tests for the compact E-field-sharing capacitance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tsv.arraycap import (
+    DEFAULT_PARAMETERS,
+    CompactCapacitanceModel,
+    SharingParameters,
+    calibrate,
+)
+from repro.tsv.geometry import PositionClass, TSVArrayGeometry
+from repro.tsv.matrices import asymmetry, total_capacitance
+
+
+@pytest.fixture(scope="module")
+def model33():
+    geom = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+    return geom, CompactCapacitanceModel(geom)
+
+
+class TestParameters:
+    def test_roundtrip(self):
+        params = SharingParameters(2.0, 0.5, 0.6, 0.7, 0.8)
+        again = SharingParameters.from_array(params.as_array())
+        assert again == params
+
+
+class TestValidation:
+    def test_rejects_wrong_probability_count(self, model33):
+        _, model = model33
+        with pytest.raises(ValueError):
+            model.capacitance_matrix([0.5] * 4)
+
+    def test_rejects_out_of_range_probability(self, model33):
+        _, model = model33
+        with pytest.raises(ValueError):
+            model.capacitance_matrix([0.5] * 8 + [2.0])
+
+
+class TestStructure:
+    def test_symmetric_nonnegative(self, model33):
+        _, model = model33
+        c = model.capacitance_matrix()
+        assert asymmetry(c) < 1e-12
+        assert (c >= 0.0).all()
+
+    def test_corner_edge_middle_total_ordering(self, model33):
+        geom, model = model33
+        totals = total_capacitance(model.capacitance_matrix())
+        assert totals[geom.index(0, 0)] < totals[geom.index(0, 1)]
+        assert totals[geom.index(0, 1)] < totals[geom.index(1, 1)]
+
+    def test_corner_edge_coupling_largest(self, model33):
+        geom, model = model33
+        c = model.capacitance_matrix()
+        off = c.copy()
+        np.fill_diagonal(off, 0.0)
+        i, j = np.unravel_index(np.argmax(off), off.shape)
+        classes = {geom.position_class(i), geom.position_class(j)}
+        assert classes == {PositionClass.CORNER, PositionClass.EDGE}
+
+    def test_direct_exceeds_diagonal_coupling(self, model33):
+        geom, model = model33
+        c = model.capacitance_matrix()
+        assert (c[geom.index(0, 0), geom.index(0, 1)]
+                > c[geom.index(0, 0), geom.index(1, 1)])
+
+    def test_mos_effect(self, model33):
+        geom, model = model33
+        n = geom.n_tsvs
+        c0 = model.capacitance_matrix(np.zeros(n))
+        c1 = model.capacitance_matrix(np.ones(n))
+        assert (total_capacitance(c1) < total_capacitance(c0)).all()
+
+
+class TestAgainstFDM:
+    """The compact model must track the reference extractor."""
+
+    @pytest.mark.parametrize("rows,cols,pitch,radius", [
+        (3, 3, 8e-6, 2e-6),
+        (3, 3, 4e-6, 1e-6),
+    ])
+    def test_frobenius_error_bounded(self, rows, cols, pitch, radius):
+        from repro.tsv.fdm import FDMFieldSolver
+
+        geom = TSVArrayGeometry(rows=rows, cols=cols, pitch=pitch, radius=radius)
+        ref = FDMFieldSolver(
+            geom, resolution=geom.oxide_thickness
+        ).capacitance_matrix()
+        c = CompactCapacitanceModel(geom).capacitance_matrix()
+        err = np.linalg.norm(c - ref) / np.linalg.norm(ref)
+        assert err < 0.25
+
+
+class TestCalibrate:
+    def test_requires_reference(self):
+        geom = TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6)
+        with pytest.raises(ValueError):
+            calibrate([geom])
+
+    def test_requires_matching_lengths(self):
+        geom = TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6)
+        with pytest.raises(ValueError):
+            calibrate([geom], reference_matrices=[])
+
+    def test_recovers_own_parameters(self):
+        # Calibrating against matrices the model itself produced must give
+        # back (numerically) the generating parameters.
+        geom = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+        truth = SharingParameters(2.4, 0.6, 0.7, 0.55, 0.7)
+        ref = CompactCapacitanceModel(geom, parameters=truth).capacitance_matrix()
+        fitted = calibrate([geom], reference_matrices=[ref], initial=DEFAULT_PARAMETERS)
+        c_fit = CompactCapacitanceModel(geom, parameters=fitted).capacitance_matrix()
+        np.testing.assert_allclose(c_fit, ref, rtol=1e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0), min_size=9, max_size=9))
+def test_probability_monotonicity(probs):
+    """Raising any TSV's probability never increases any capacitance."""
+    geom = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+    model = CompactCapacitanceModel(geom)
+    base = model.capacitance_matrix(probs)
+    bumped_probs = list(probs)
+    bumped_probs[4] = min(1.0, bumped_probs[4] + 0.3)
+    bumped = model.capacitance_matrix(bumped_probs)
+    assert (bumped <= base + 1e-25).all()

@@ -1,0 +1,161 @@
+"""Tests for the TSV array geometry model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.tsv.geometry import PositionClass, TSVArrayGeometry
+
+
+def make(rows=3, cols=3, pitch=8e-6, radius=2e-6):
+    return TSVArrayGeometry(rows=rows, cols=cols, pitch=pitch, radius=radius)
+
+
+class TestConstruction:
+    def test_default_oxide_thickness_is_radius_over_five(self):
+        geom = make(radius=2e-6)
+        assert geom.oxide_thickness == pytest.approx(0.4e-6)
+
+    def test_explicit_oxide_thickness_is_kept(self):
+        geom = TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6,
+                                oxide_thickness=0.1e-6)
+        assert geom.oxide_thickness == pytest.approx(0.1e-6)
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ValueError):
+            TSVArrayGeometry(rows=0, cols=3, pitch=8e-6, radius=2e-6)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            TSVArrayGeometry(rows=2, cols=2, pitch=-1.0, radius=2e-6)
+
+    def test_rejects_overlapping_tsvs(self):
+        # pitch smaller than two outer radii
+        with pytest.raises(ValueError):
+            TSVArrayGeometry(rows=2, cols=2, pitch=4e-6, radius=2e-6)
+
+    def test_itrs_min_preset(self):
+        geom = TSVArrayGeometry.itrs_min_2018(4, 4)
+        assert geom.radius == constants.RADIUS_MIN_2018
+        assert geom.pitch == constants.PITCH_MIN_2018
+
+    def test_large_preset(self):
+        geom = TSVArrayGeometry.large_2018(4, 4)
+        assert geom.radius == constants.RADIUS_LARGE
+        assert geom.pitch == constants.PITCH_LARGE
+
+
+class TestIndexing:
+    def test_row_major_index(self):
+        geom = make(rows=3, cols=4)
+        assert geom.index(0, 0) == 0
+        assert geom.index(0, 3) == 3
+        assert geom.index(1, 0) == 4
+        assert geom.index(2, 3) == 11
+
+    def test_row_col_roundtrip(self):
+        geom = make(rows=3, cols=4)
+        for i in range(geom.n_tsvs):
+            assert geom.index(*geom.row_col(i)) == i
+
+    def test_index_out_of_range(self):
+        geom = make()
+        with pytest.raises(IndexError):
+            geom.index(3, 0)
+        with pytest.raises(IndexError):
+            geom.row_col(9)
+
+    def test_positions_grid(self):
+        geom = make(rows=2, cols=3, pitch=8e-6)
+        pos = geom.positions()
+        assert pos.shape == (6, 2)
+        np.testing.assert_allclose(pos[0], [0.0, 0.0])
+        np.testing.assert_allclose(pos[2], [16e-6, 0.0])
+        np.testing.assert_allclose(pos[5], [16e-6, 8e-6])
+
+
+class TestTopology:
+    def test_position_classes_3x3(self):
+        geom = make(rows=3, cols=3)
+        classes = geom.position_classes()
+        assert classes[0] == PositionClass.CORNER
+        assert classes[1] == PositionClass.EDGE
+        assert classes[4] == PositionClass.MIDDLE
+        assert classes[8] == PositionClass.CORNER
+
+    def test_class_counts_4x4(self):
+        geom = make(rows=4, cols=4)
+        classes = geom.position_classes()
+        assert sum(c == PositionClass.CORNER for c in classes) == 4
+        assert sum(c == PositionClass.EDGE for c in classes) == 8
+        assert sum(c == PositionClass.MIDDLE for c in classes) == 4
+
+    def test_single_row_has_no_middle(self):
+        geom = TSVArrayGeometry(rows=1, cols=5, pitch=8e-6, radius=2e-6)
+        classes = geom.position_classes()
+        assert classes[0] == PositionClass.CORNER
+        assert classes[4] == PositionClass.CORNER
+        assert all(c != PositionClass.MIDDLE for c in classes)
+
+    def test_direct_neighbors_center(self):
+        geom = make(rows=3, cols=3)
+        assert sorted(geom.direct_neighbors(4)) == [1, 3, 5, 7]
+
+    def test_direct_neighbors_corner(self):
+        geom = make(rows=3, cols=3)
+        assert sorted(geom.direct_neighbors(0)) == [1, 3]
+
+    def test_diagonal_neighbors_center(self):
+        geom = make(rows=3, cols=3)
+        assert sorted(geom.diagonal_neighbors(4)) == [0, 2, 6, 8]
+
+    def test_middle_tsv_has_eight_neighbors(self):
+        geom = make(rows=3, cols=3)
+        assert len(geom.neighbors(4)) == 8
+
+    def test_corner_tsv_has_three_neighbors(self):
+        geom = make(rows=3, cols=3)
+        assert len(geom.neighbors(0)) == 3
+
+    def test_distances(self):
+        geom = make(rows=3, cols=3, pitch=8e-6)
+        assert geom.distance(0, 1) == pytest.approx(8e-6)
+        assert geom.distance(0, 4) == pytest.approx(8e-6 * math.sqrt(2))
+        assert geom.distance(0, 8) == pytest.approx(16e-6 * math.sqrt(2))
+
+    def test_iter_pairs_count(self):
+        geom = make(rows=3, cols=3)
+        pairs = list(geom.iter_pairs())
+        assert len(pairs) == 9 * 8 // 2
+        assert all(i < j for i, j in pairs)
+
+
+@given(rows=st.integers(1, 6), cols=st.integers(1, 6))
+def test_neighbor_symmetry(rows, cols):
+    """j is a neighbour of i iff i is a neighbour of j, for all pairs."""
+    geom = TSVArrayGeometry(rows=rows, cols=cols, pitch=8e-6, radius=2e-6)
+    for i in range(geom.n_tsvs):
+        for j in geom.neighbors(i):
+            assert i in geom.neighbors(j)
+
+
+@given(rows=st.integers(2, 6), cols=st.integers(2, 6))
+def test_neighbor_counts_by_class(rows, cols):
+    """Corners have 3 neighbours, edges 5, middles 8 (for >=2x2 arrays)."""
+    geom = TSVArrayGeometry(rows=rows, cols=cols, pitch=8e-6, radius=2e-6)
+    expected = {PositionClass.CORNER: 3, PositionClass.EDGE: 5,
+                PositionClass.MIDDLE: 8}
+    for i in range(geom.n_tsvs):
+        assert len(geom.neighbors(i)) == expected[geom.position_class(i)]
+
+
+@given(rows=st.integers(1, 5), cols=st.integers(1, 5))
+def test_cache_key_stable_and_distinct(rows, cols):
+    geom1 = TSVArrayGeometry(rows=rows, cols=cols, pitch=8e-6, radius=2e-6)
+    geom2 = TSVArrayGeometry(rows=rows, cols=cols, pitch=8e-6, radius=2e-6)
+    assert geom1.cache_key() == geom2.cache_key()
+    other = TSVArrayGeometry(rows=rows, cols=cols, pitch=9e-6, radius=2e-6)
+    assert geom1.cache_key() != other.cache_key()

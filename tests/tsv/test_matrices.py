@@ -1,0 +1,73 @@
+"""Tests for capacitance-matrix form conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tsv import matrices
+
+
+class TestMaxwellToSpice:
+    def test_simple_two_conductor(self):
+        maxwell = np.array([[3.0, -1.0], [-1.0, 2.0]])
+        spice = matrices.maxwell_to_spice(maxwell)
+        assert spice[0, 1] == pytest.approx(1.0)
+        assert spice[1, 0] == pytest.approx(1.0)
+        assert spice[0, 0] == pytest.approx(2.0)  # 3 - 1
+        assert spice[1, 1] == pytest.approx(1.0)  # 2 - 1
+
+    def test_noise_couplings_clipped(self):
+        maxwell = np.array([[3.0, 1e-20], [1e-20, 2.0]])
+        spice = matrices.maxwell_to_spice(maxwell)
+        assert spice[0, 1] == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            matrices.maxwell_to_spice(np.ones((2, 3)))
+
+
+class TestRoundtrip:
+    @given(
+        hnp.arrays(
+            float,
+            (4, 4),
+            elements=st.floats(0.0, 10.0),
+        )
+    )
+    def test_spice_maxwell_roundtrip(self, raw):
+        spice = (raw + raw.T) / 2.0  # symmetric, non-negative
+        maxwell = matrices.spice_to_maxwell(spice)
+        back = matrices.maxwell_to_spice(maxwell)
+        np.testing.assert_allclose(back, spice, atol=1e-12)
+
+    def test_maxwell_diagonal_dominance_preserved(self):
+        spice = np.array([[1.0, 2.0], [2.0, 3.0]])
+        maxwell = matrices.spice_to_maxwell(spice)
+        # Maxwell form: diagonal = ground + couplings, off-diagonal negative.
+        assert maxwell[0, 0] == pytest.approx(3.0)
+        assert maxwell[0, 1] == pytest.approx(-2.0)
+
+
+class TestHelpers:
+    def test_symmetrize(self):
+        a = np.array([[1.0, 2.0], [4.0, 3.0]])
+        s = matrices.symmetrize(a)
+        np.testing.assert_allclose(s, [[1.0, 3.0], [3.0, 3.0]])
+
+    def test_asymmetry_zero_for_symmetric(self):
+        a = np.array([[1.0, 2.0], [2.0, 3.0]])
+        assert matrices.asymmetry(a) == 0.0
+
+    def test_asymmetry_positive(self):
+        a = np.array([[1.0, 2.0], [2.5, 3.0]])
+        assert matrices.asymmetry(a) > 0.0
+
+    def test_asymmetry_of_zero_matrix(self):
+        assert matrices.asymmetry(np.zeros((3, 3))) == 0.0
+
+    def test_total_capacitance(self):
+        spice = np.array([[1.0, 0.5], [0.5, 2.0]])
+        np.testing.assert_allclose(
+            matrices.total_capacitance(spice), [1.5, 2.5]
+        )

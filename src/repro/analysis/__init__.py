@@ -1,0 +1,99 @@
+"""Static analysis and runtime contracts for the reproduction.
+
+Two halves:
+
+* :mod:`repro.analysis.linter` — an AST linter with repo-specific rules
+  (``REP001`` .. ``REP005``): RNG reproducibility, vectorization,
+  deprecated NumPy API, float equality, parameter mutation. Run it with
+  ``repro-tsv lint`` or ``python -m repro.analysis``.
+* :mod:`repro.analysis.contracts` — validators for the paper's physical
+  invariants (SPICE-form ``C``, Eq. 5 signed permutations, probability
+  ranges, ``T_s``/``T_c`` consistency), enforced at the core boundaries
+  when ``REPRO_CONTRACTS=1``.
+
+See ``docs/static_analysis.md`` for the full rule and contract catalogue.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_capacitance_matrix,
+    check_enabled,
+    check_mna_system,
+    check_probabilities,
+    check_signed_permutation,
+    check_switching_matrix,
+    contract,
+    contracts_enabled,
+    contracts_override,
+)
+from repro.analysis.findings import Finding, render_json, render_text, summarize
+from repro.analysis.linter import ALL_RULES, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "ContractViolation",
+    "Finding",
+    "check_capacitance_matrix",
+    "check_enabled",
+    "check_mna_system",
+    "check_probabilities",
+    "check_signed_permutation",
+    "check_switching_matrix",
+    "contract",
+    "contracts_enabled",
+    "contracts_override",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+]
+
+
+def run_lint(
+    paths: Sequence[str],
+    output_format: str = "text",
+    stream=None,
+) -> int:
+    """Lint ``paths`` and print findings; return a CI-friendly exit code.
+
+    ``0`` when clean, ``1`` when findings exist, ``2`` on usage errors
+    (e.g. a path that does not exist).
+    """
+    stream = sys.stdout if stream is None else stream
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(render_json(findings), file=stream)
+    else:
+        if findings:
+            print(render_text(findings), file=stream)
+        print(f"# {summarize(findings)}", file=stream)
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-specific physics/numerics linter (REP001..REP005)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="output format",
+    )
+    args = parser.parse_args(argv)
+    return run_lint(args.paths, output_format=args.format)

@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the repo-specific linter."""
+
+import sys
+
+from repro.analysis import main
+
+sys.exit(main())

@@ -1,0 +1,371 @@
+"""Runtime contracts for the physical invariants the power model assumes.
+
+The paper's model ``P_n = <T, C>`` (Eq. 2) silently produces garbage when
+its inputs violate structure the derivation takes for granted:
+
+* ``C`` must be a *SPICE-form* capacitance matrix — symmetric, non-negative
+  ground terms on the diagonal, non-negative couplings off it — and its
+  Maxwell form must be diagonally dominant (a passive capacitance network);
+* an assignment matrix ``A_pi`` must be a *signed permutation* — exactly one
+  ``+-1`` per row and per column (Eq. 5);
+* bit 1-probabilities feed the depletion model (Eq. 6/7) and must lie in
+  ``[0, 1]``;
+* the switching statistics ``T_s`` / ``T_c`` (Eq. 3) must be mutually
+  consistent: symmetric coupling, matching diagonal, Cauchy-Schwarz bound.
+
+Each ``check_*`` validator raises :class:`ContractViolation` naming the
+violated invariant. Checks are **off by default** (zero overhead on hot
+paths) and enabled with ``REPRO_CONTRACTS=1`` — the test-suite and CI run
+with them on. Boundaries in :mod:`repro.core`, :mod:`repro.tsv` and
+:mod:`repro.circuit` call them through :func:`contract` /
+:func:`check_enabled`.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import weakref
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+#: Environment variable toggling the runtime contracts (default: off).
+ENV_VAR = "REPRO_CONTRACTS"
+
+_FALSy = ("", "0", "false", "no", "off")
+
+
+class ContractViolation(ValueError):
+    """A physical invariant was violated at a checked boundary.
+
+    Attributes
+    ----------
+    invariant:
+        Short machine-readable name of the broken invariant
+        (e.g. ``"capacitance-symmetry"``).
+    """
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"contract violated [{invariant}]: {message}")
+        self.invariant = invariant
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_CONTRACTS`` asks for runtime checking."""
+    return os.environ.get(ENV_VAR, "0").strip().lower() not in _FALSy
+
+
+class _ContractsOverride:
+    """Context manager forcing contracts on/off (used by tests and tools)."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.value = "1" if enabled else "0"
+        self._saved: Optional[str] = None
+
+    def __enter__(self) -> "_ContractsOverride":
+        self._saved = os.environ.get(ENV_VAR)
+        os.environ[ENV_VAR] = self.value
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._saved is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = self._saved
+
+
+def contracts_override(enabled: bool = True) -> _ContractsOverride:
+    """``with contracts_override(True): ...`` — scoped enable/disable."""
+    return _ContractsOverride(enabled)
+
+
+class _ValidatedRegistry:
+    """Identity memo of objects that already passed a validator.
+
+    The optimizers evaluate thousands of assignments against the *same*
+    statistics object and capacitance matrix; re-validating the identical
+    (treated-as-immutable) object every move would triple the cost of the
+    hot loop. Entries are weak references, so the memo never keeps inputs
+    alive, and an id is only trusted while its referent still exists.
+    """
+
+    def __init__(self) -> None:
+        self._refs: dict = {}
+
+    def add(self, obj: Any) -> None:
+        try:
+            ref = weakref.ref(
+                obj, lambda _r, key=id(obj): self._refs.pop(key, None)
+            )
+        except TypeError:  # not weak-referenceable (e.g. list input)
+            return
+        self._refs[id(obj)] = ref
+
+    def __contains__(self, obj: Any) -> bool:
+        ref = self._refs.get(id(obj))
+        return ref is not None and ref() is obj
+
+
+_VALIDATED_STATS = _ValidatedRegistry()
+_VALIDATED_MATRICES = _ValidatedRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Validators
+# ---------------------------------------------------------------------------
+
+
+def check_probabilities(
+    probabilities: Sequence[float], name: str = "probabilities"
+) -> np.ndarray:
+    """1-bit probabilities: finite, 1-D, each in ``[0, 1]``."""
+    p = np.asarray(probabilities, dtype=float)
+    if p.ndim != 1:
+        raise ContractViolation(
+            "probability-shape", f"{name} must be 1-D, got shape {p.shape}"
+        )
+    if not np.isfinite(p).all():
+        raise ContractViolation(
+            "probability-finite", f"{name} contains NaN or infinity"
+        )
+    if ((p < 0.0) | (p > 1.0)).any():
+        bad = p[(p < 0.0) | (p > 1.0)][0]
+        raise ContractViolation(
+            "probability-range",
+            f"{name} must lie in [0, 1]; found {bad!r}",
+        )
+    return p
+
+
+def check_capacitance_matrix(
+    matrix: np.ndarray,
+    name: str = "capacitance matrix",
+    rtol: float = 1e-8,
+) -> np.ndarray:
+    """SPICE-form capacitance matrix (Eq. 2 input).
+
+    Square, finite, symmetric, all entries non-negative (ground terms on
+    the diagonal, couplings off it), and diagonally dominant in Maxwell
+    form — which is what makes the capacitance network passive.
+    """
+    if matrix in _VALIDATED_MATRICES:
+        return np.asarray(matrix, dtype=float)
+    c = np.asarray(matrix, dtype=float)
+    if c.ndim != 2 or c.shape[0] != c.shape[1]:
+        raise ContractViolation(
+            "capacitance-square", f"{name} must be square, got {c.shape}"
+        )
+    if not np.isfinite(c).all():
+        raise ContractViolation(
+            "capacitance-finite", f"{name} contains NaN or infinity"
+        )
+    scale = float(np.abs(c).max()) or 1.0
+    if not np.allclose(c, c.T, atol=rtol * scale, rtol=0.0):
+        worst = float(np.abs(c - c.T).max())
+        raise ContractViolation(
+            "capacitance-symmetry",
+            f"{name} is not symmetric (max |C - C^T| = {worst:.3e}); "
+            "symmetrize the extraction result first",
+        )
+    if (c < -rtol * scale).any():
+        worst = float(c.min())
+        raise ContractViolation(
+            "capacitance-spice-form",
+            f"{name} has a negative entry ({worst:.3e}); SPICE form "
+            "requires non-negative ground and coupling terms",
+        )
+    # Maxwell diagonal = ground + sum of couplings >= sum of couplings:
+    # automatic for non-negative SPICE entries, but recheck numerically so
+    # a corrupted conversion cannot sneak through.
+    maxwell_diag = c.sum(axis=1)
+    off_sum = maxwell_diag - np.diag(c)
+    if (maxwell_diag < off_sum - rtol * scale).any():
+        raise ContractViolation(
+            "capacitance-diagonal-dominance",
+            f"{name} is not diagonally dominant in Maxwell form; the "
+            "network would not be passive",
+        )
+    _VALIDATED_MATRICES.add(matrix)
+    return c
+
+
+def check_signed_permutation(assignment: Any) -> Any:
+    """A valid Eq. 5 assignment: exactly one ``+-1`` per row and column.
+
+    Accepts either an explicit matrix or any object exposing
+    ``line_of_bit`` / ``inverted`` (e.g.
+    :class:`repro.core.assignment.SignedPermutation`).
+    """
+    if hasattr(assignment, "line_of_bit") and hasattr(assignment, "inverted"):
+        lines = tuple(int(x) for x in assignment.line_of_bit)
+        inverted = tuple(bool(x) for x in assignment.inverted)
+        n = len(lines)
+        if len(inverted) != n:
+            raise ContractViolation(
+                "signed-permutation",
+                f"line_of_bit has {n} entries but inverted has "
+                f"{len(inverted)}",
+            )
+        if sorted(lines) != list(range(n)):
+            raise ContractViolation(
+                "signed-permutation",
+                f"line_of_bit {lines} is not a permutation of 0..{n - 1}; "
+                "Eq. 5 requires exactly one line per bit",
+            )
+        return assignment
+    a = np.asarray(assignment, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ContractViolation(
+            "signed-permutation",
+            f"assignment matrix must be square, got shape {a.shape}",
+        )
+    entries_ok = bool(np.isin(a, (-1.0, 0.0, 1.0)).all())
+    one_per_row = bool((np.count_nonzero(a, axis=1) == 1).all())
+    one_per_col = bool((np.count_nonzero(a, axis=0) == 1).all())
+    if not (entries_ok and one_per_row and one_per_col):
+        raise ContractViolation(
+            "signed-permutation",
+            "matrix is not a signed permutation; Eq. 5 requires exactly "
+            "one +-1 per row and per column and zeros elsewhere",
+        )
+    return assignment
+
+
+def check_switching_matrix(stats: Any, atol: float = 1e-9) -> Any:
+    """Consistency of the ``T_s`` / ``T_c`` statistics (Eq. 3).
+
+    Accepts any object exposing ``self_switching``, ``coupling`` and
+    ``probabilities`` (e.g. :class:`repro.stats.switching.BitStatistics`).
+    """
+    if stats in _VALIDATED_STATS:
+        return stats
+    self_switching = np.asarray(stats.self_switching, dtype=float)
+    coupling = np.asarray(stats.coupling, dtype=float)
+    n = self_switching.shape[0]
+    if coupling.shape != (n, n):
+        raise ContractViolation(
+            "switching-shape",
+            f"coupling matrix shape {coupling.shape} does not match "
+            f"{n} lines",
+        )
+    if not (np.isfinite(self_switching).all() and np.isfinite(coupling).all()):
+        raise ContractViolation(
+            "switching-finite", "switching statistics contain NaN or infinity"
+        )
+    if ((self_switching < -atol) | (self_switching > 1.0 + atol)).any():
+        raise ContractViolation(
+            "switching-range",
+            "self-switching probabilities E{db_i^2} must lie in [0, 1]",
+        )
+    if not np.allclose(coupling, coupling.T, atol=atol):
+        raise ContractViolation(
+            "switching-symmetry",
+            "coupling matrix E{db_i db_j} must be symmetric",
+        )
+    if not np.allclose(np.diag(coupling), self_switching, atol=atol):
+        raise ContractViolation(
+            "switching-diagonal",
+            "diag(coupling) must equal the self-switching vector "
+            "(the i = j case of the same expectation)",
+        )
+    bound = np.sqrt(np.outer(self_switching, self_switching))
+    if (np.abs(coupling) > bound + atol).any():
+        raise ContractViolation(
+            "switching-cauchy-schwarz",
+            "|E{db_i db_j}| exceeds sqrt(E{db_i^2} E{db_j^2}); the "
+            "moments cannot come from any real bit stream",
+        )
+    check_probabilities(stats.probabilities, name="bit probabilities")
+    _VALIDATED_STATS.add(stats)
+    return stats
+
+
+def check_mna_system(system: Any) -> Any:
+    """Structural sanity of an assembled MNA descriptor system.
+
+    Accepts any object exposing ``a_matrix``, ``e_matrix`` and ``n_nodes``
+    (e.g. :class:`repro.circuit.mna.MNASystem`): square equally-sized
+    finite matrices whose capacitive node block of ``E`` is symmetric.
+    """
+    a = np.asarray(system.a_matrix, dtype=float)
+    e = np.asarray(system.e_matrix, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != e.shape:
+        raise ContractViolation(
+            "mna-shape",
+            f"A and E must be equal square matrices, got {a.shape} "
+            f"and {e.shape}",
+        )
+    if not (np.isfinite(a).all() and np.isfinite(e).all()):
+        raise ContractViolation(
+            "mna-finite", "MNA matrices contain NaN or infinity"
+        )
+    n_nodes = int(system.n_nodes)
+    node_block = e[:n_nodes, :n_nodes]
+    if not np.allclose(node_block, node_block.T):
+        raise ContractViolation(
+            "mna-capacitive-symmetry",
+            "the node block of E (capacitor stamps) must be symmetric",
+        )
+    return system
+
+
+# ---------------------------------------------------------------------------
+# Application helpers
+# ---------------------------------------------------------------------------
+
+
+def check_enabled(check: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+    """Run ``check(*args, **kwargs)`` only when contracts are enabled.
+
+    The inline form for post-conditions and boundaries where a decorator
+    does not fit.
+    """
+    if contracts_enabled():
+        check(*args, **kwargs)
+
+
+def contract(**param_checks: Callable[[Any], Any]) -> Callable:
+    """Decorator applying validators to named parameters when enabled.
+
+    Example::
+
+        @contract(cap_matrix=check_capacitance_matrix)
+        def normalized_power(stats, cap_matrix): ...
+
+    Parameters bound to ``None`` are skipped (optional arguments keep
+    their meaning).
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        signature = inspect.signature(fn)
+        unknown = set(param_checks) - set(signature.parameters)
+        if unknown:
+            raise TypeError(
+                f"contract on {fn.__qualname__} names unknown "
+                f"parameters {sorted(unknown)}"
+            )
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if contracts_enabled():
+                bound = signature.bind(*args, **kwargs)
+                for name, check in param_checks.items():
+                    value = bound.arguments.get(name)
+                    if value is not None:
+                        check(value)
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def iter_validators() -> Iterator[Callable]:
+    """All public validators (used by docs and the property tests)."""
+    yield check_probabilities
+    yield check_capacitance_matrix
+    yield check_signed_permutation
+    yield check_switching_matrix
+    yield check_mna_system

@@ -1,0 +1,61 @@
+"""The shared finding record every linter rule reports.
+
+A :class:`Finding` is one rule violation at one source location. Rules only
+*create* findings; rendering (text or JSON) and exit-code policy live here
+and in :mod:`repro.analysis.linter`, so all rules behave identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        File the violation was found in (as given to the linter).
+    line / column:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule code, e.g. ``"REP001"``.
+    message:
+        Human-readable description of what is wrong and what to do instead.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: REPxxx message`` — the classic linter line."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Render findings one per line, sorted by location."""
+    return "\n".join(f.render() for f in sorted(findings))
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Render findings as a JSON array (for CI annotation tooling)."""
+    return json.dumps([asdict(f) for f in sorted(findings)], indent=2)
+
+
+def summarize(findings: List[Finding]) -> str:
+    """One-line tally: ``3 findings (REP001 x2, REP005 x1)``."""
+    if not findings:
+        return "no findings"
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    parts = ", ".join(f"{rule} x{n}" for rule, n in sorted(counts.items()))
+    noun = "finding" if len(findings) == 1 else "findings"
+    return f"{len(findings)} {noun} ({parts})"

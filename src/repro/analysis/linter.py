@@ -1,0 +1,549 @@
+"""AST-based static linter with repo-specific physics/numerics rules.
+
+The general-purpose tools (ruff, mypy) cannot know this library's
+conventions, so the rules here encode them:
+
+``REP001``
+    Unseeded or global NumPy RNG: ``np.random.default_rng()`` without a
+    seed, ``np.random.seed(...)``, or any legacy ``np.random.*`` sampling
+    call. Every experiment table must be reproducible; use
+    :func:`repro.rng.ensure_rng` (or thread an explicit generator).
+``REP002``
+    Hand-rolled Python loop over an ndarray where a vectorized reduction or
+    elementwise op exists (``for i in range(len(x)): acc += x[i]``).
+``REP003``
+    ``np.matrix`` or removed/deprecated NumPy aliases (``np.float``,
+    ``np.alltrue``, ...). These break on modern NumPy and ``np.matrix``
+    silently changes ``*`` semantics.
+``REP004``
+    ``==`` / ``!=`` against a nonzero float literal. Physical quantities
+    (capacitances, powers, probabilities) carry rounding error; compare
+    with a tolerance. Exact-zero guards (``norm == 0.0``) are allowed.
+``REP005``
+    In-place mutation of an array received as a function parameter without
+    a defensive copy — the classic shared-state bug behind corrupted
+    capacitance matrices.
+
+Suppression: append ``# repro: noqa[REP001]`` (comma-separate several
+codes) or a bare ``# repro: noqa`` to the offending line, with a short
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Union
+
+from repro.analysis.findings import Finding
+
+#: Legacy global-state samplers of the pre-Generator NumPy API.
+_LEGACY_RANDOM = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "permutation", "shuffle", "uniform", "normal",
+        "standard_normal", "binomial", "poisson", "exponential", "beta",
+        "gamma", "get_state", "set_state", "RandomState",
+    }
+)
+
+#: NumPy attributes that are deprecated or removed (NumPy >= 1.24 / 2.0).
+_DEPRECATED_NUMPY = frozenset(
+    {
+        "matrix", "mat", "asmatrix", "float", "int", "bool", "object",
+        "str", "complex", "long", "unicode", "asfarray", "alltrue",
+        "sometrue", "cumproduct", "product", "round_", "NaN", "Inf",
+        "Infinity", "infty", "in1d", "row_stack", "trapz",
+    }
+)
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"fill", "sort", "partition", "resize", "put", "itemset", "setfield"}
+)
+
+#: numpy functions whose first argument is mutated in place.
+_MUTATING_NUMPY_FUNCS = frozenset(
+    {"fill_diagonal", "copyto", "put", "place", "putmask"}
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+class ImportMap:
+    """Resolve local names to canonical dotted module paths.
+
+    Tracks ``import numpy as np``, ``from numpy import random as nr`` and
+    ``from numpy.random import default_rng`` so rules can match on the
+    canonical ``numpy.random.default_rng`` regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import - outside our scope
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.AST) -> str:
+        """Dotted canonical name of an expression, or ``""`` if not one."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.canonical(node.value)
+            return f"{base}.{node.attr}" if base else ""
+        return ""
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: a visitor that records :class:`Finding` objects."""
+
+    code = "REP000"
+    summary = "base rule"
+
+    def __init__(self, path: str, imports: ImportMap) -> None:
+        self.path = path
+        self.imports = imports
+        self.findings: List[Finding] = []
+
+    def record(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                column=getattr(node, "col_offset", 0),
+                rule=self.code,
+                message=message,
+            )
+        )
+
+
+class UnseededRandomRule(Rule):
+    """REP001: unseeded ``default_rng()``, ``np.random.seed`` or legacy API."""
+
+    code = "REP001"
+    summary = "unseeded or global NumPy RNG"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.imports.canonical(node.func)
+        if name == "numpy.random.default_rng" and not node.args and not node.keywords:
+            self.record(
+                node,
+                "np.random.default_rng() without a seed is irreproducible; "
+                "use repro.rng.ensure_rng(rng) or pass an explicit seed",
+            )
+        elif name == "numpy.random.seed":
+            self.record(
+                node,
+                "np.random.seed mutates the global RNG; thread a "
+                "np.random.Generator instead",
+            )
+        elif (
+            name.startswith("numpy.random.")
+            and name.rsplit(".", 1)[1] in _LEGACY_RANDOM
+        ):
+            self.record(
+                node,
+                f"legacy global-state sampler {name}; use a "
+                "np.random.Generator method instead",
+            )
+        self.generic_visit(node)
+
+
+class HandRolledLoopRule(Rule):
+    """REP002: scalar Python loop over an array where NumPy vectorizes.
+
+    Deliberately narrow to stay precise: flags ``for i in range(len(x))``
+    (or ``range(x.shape[k])``) loops whose whole body is a single
+    element-at-a-time accumulation (``acc += x[i]``) or elementwise store
+    (``out[i] = <expr of subscripts by i>``).
+    """
+
+    code = "REP002"
+    summary = "hand-rolled loop over ndarray"
+
+    def visit_For(self, node: ast.For) -> None:
+        loop_var = node.target.id if isinstance(node.target, ast.Name) else None
+        if (
+            loop_var is not None
+            and self._is_array_range(node.iter)
+            and len(node.body) == 1
+            and not node.orelse
+        ):
+            body = node.body[0]
+            if self._is_scalar_accumulation(body, loop_var):
+                self.record(
+                    node,
+                    "element-wise accumulation loop over an array; use the "
+                    "vectorized reduction (x.sum(), x @ y, ...)",
+                )
+            elif self._is_elementwise_store(body, loop_var):
+                self.record(
+                    node,
+                    "element-wise store loop over an array; use a "
+                    "vectorized expression over whole arrays",
+                )
+        self.generic_visit(node)
+
+    def _is_array_range(self, iter_node: ast.AST) -> bool:
+        """``range(len(x))`` / ``range(x.shape[k])`` — iterating an array."""
+        if not (
+            isinstance(iter_node, ast.Call)
+            and self.imports.canonical(iter_node.func) == "range"
+            and len(iter_node.args) == 1
+        ):
+            return False
+        arg = iter_node.args[0]
+        if (
+            isinstance(arg, ast.Call)
+            and self.imports.canonical(arg.func) == "len"
+        ):
+            return True
+        return (
+            isinstance(arg, ast.Subscript)
+            and isinstance(arg.value, ast.Attribute)
+            and arg.value.attr == "shape"
+        )
+
+    @staticmethod
+    def _subscripted_by(node: ast.AST, loop_var: str) -> bool:
+        """Is ``node`` a subscript whose index mentions the loop variable?"""
+        return isinstance(node, ast.Subscript) and any(
+            isinstance(sub, ast.Name) and sub.id == loop_var
+            for sub in ast.walk(node.slice)
+        )
+
+    def _is_scalar_accumulation(self, stmt: ast.stmt, loop_var: str) -> bool:
+        """``acc += x[i]`` (or ``acc = acc + x[i]``)."""
+        if (
+            isinstance(stmt, ast.AugAssign)
+            and isinstance(stmt.op, (ast.Add, ast.Mult))
+            and isinstance(stmt.target, ast.Name)
+        ):
+            return any(
+                self._subscripted_by(sub, loop_var)
+                for sub in ast.walk(stmt.value)
+            )
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.BinOp)
+            and isinstance(stmt.value.op, (ast.Add, ast.Mult))
+        ):
+            acc = stmt.targets[0].id
+            reads_acc = any(
+                isinstance(sub, ast.Name) and sub.id == acc
+                for sub in ast.walk(stmt.value)
+            )
+            return reads_acc and any(
+                self._subscripted_by(sub, loop_var)
+                for sub in ast.walk(stmt.value)
+            )
+        return False
+
+    def _is_elementwise_store(self, stmt: ast.stmt, loop_var: str) -> bool:
+        """``out[i] = <expression reading other arrays at index i>``."""
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and self._subscripted_by(stmt.targets[0], loop_var)
+        ):
+            return False
+        return any(
+            self._subscripted_by(sub, loop_var)
+            for sub in ast.walk(stmt.value)
+        )
+
+
+class DeprecatedNumpyRule(Rule):
+    """REP003: ``np.matrix`` and removed/deprecated NumPy aliases."""
+
+    code = "REP003"
+    summary = "np.matrix / deprecated NumPy API"
+
+    def _check(self, node: ast.AST) -> None:
+        name = self.imports.canonical(node)
+        if (
+            name.startswith("numpy.")
+            and name.count(".") == 1
+            and name.rsplit(".", 1)[1] in _DEPRECATED_NUMPY
+        ):
+            attr = name.rsplit(".", 1)[1]
+            if attr in ("matrix", "mat", "asmatrix"):
+                message = (
+                    f"{name} changes operator semantics and is deprecated; "
+                    "use a 2-D np.ndarray"
+                )
+            else:
+                message = (
+                    f"{name} is removed/deprecated in modern NumPy; use the "
+                    "builtin or the np.* canonical spelling"
+                )
+            self.record(node, message)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # Catches `from numpy import alltrue` style usage.
+        if isinstance(node.ctx, ast.Load):
+            self._check(node)
+
+
+class FloatEqualityRule(Rule):
+    """REP004: ``==`` / ``!=`` against a nonzero float literal.
+
+    Comparisons against exactly ``0.0`` are permitted: guarding a division
+    by an exactly-zero norm is correct and idiomatic.
+    """
+
+    code = "REP004"
+    summary = "float equality comparison"
+
+    @staticmethod
+    def _nonzero_float_literal(node: ast.AST) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                self._nonzero_float_literal(left)
+                or self._nonzero_float_literal(right)
+            ):
+                self.record(
+                    node,
+                    "exact ==/!= against a float literal on a physical "
+                    "quantity; use math.isclose / np.isclose or an explicit "
+                    "tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+
+class ParameterMutationRule(Rule):
+    """REP005: in-place mutation of an array parameter without a copy.
+
+    Within each function, a parameter that is never rebound (no
+    ``x = np.asarray(x)`` style defensive copy) must not be the target of a
+    subscript store, an in-place operator, a mutating ndarray method, or
+    ``np.fill_diagonal``-style in-place numpy functions.
+    """
+
+    code = "REP005"
+    summary = "mutation of array parameter"
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def _check_function(self, node) -> None:
+        args = node.args
+        params = {
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if a.arg not in ("self", "cls")
+        }
+        if not params:
+            return
+        own_body = list(self._own_nodes(node))
+        rebound = self._rebound_names(own_body)
+        suspects = params - rebound
+        if not suspects:
+            return
+        for sub in own_body:
+            self._check_statement(sub, suspects)
+
+    @staticmethod
+    def _own_nodes(func) -> Iterable[ast.AST]:
+        """Walk the function body without descending into nested defs."""
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue  # nested scope - analyzed on its own visit
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _rebound_names(nodes: Iterable[ast.AST]) -> Set[str]:
+        rebound: Set[str] = set()
+        for node in nodes:
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                rebound.add(node.id)
+        return rebound
+
+    def _base_name(self, node: ast.AST) -> str:
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else ""
+
+    def _check_statement(self, node: ast.AST, suspects: Set[str]) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                base = self._base_name(target)
+                if isinstance(target, ast.Subscript) and base in suspects:
+                    self.record(
+                        node,
+                        f"writes into parameter {base!r} in place; copy it "
+                        "first (x = np.asarray(x).copy()) or document the "
+                        "mutation",
+                    )
+        elif isinstance(node, ast.AugAssign):
+            base = self._base_name(node.target)
+            if isinstance(node.target, ast.Subscript) and base in suspects:
+                self.record(
+                    node,
+                    f"in-place update of parameter {base!r}; copy it first "
+                    "or document the mutation",
+                )
+        elif isinstance(node, ast.Call):
+            self._check_call(node, suspects)
+
+    def _check_call(self, node: ast.Call, suspects: Set[str]) -> None:
+        name = self.imports.canonical(node.func)
+        if (
+            name.startswith("numpy.")
+            and name.rsplit(".", 1)[1] in _MUTATING_NUMPY_FUNCS
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in suspects
+        ):
+            self.record(
+                node,
+                f"{name} mutates parameter {node.args[0].id!r} in place; "
+                "copy it first or document the mutation",
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in suspects
+        ):
+            self.record(
+                node,
+                f".{node.func.attr}() mutates parameter "
+                f"{node.func.value.id!r} in place; copy it first or "
+                "document the mutation",
+            )
+
+
+#: All rules, in code order. The registry the CLI and docs iterate over.
+ALL_RULES = (
+    UnseededRandomRule,
+    HandRolledLoopRule,
+    DeprecatedNumpyRule,
+    FloatEqualityRule,
+    ParameterMutationRule,
+)
+
+
+def _noqa_lines(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule codes suppressed on them.
+
+    An empty set means "suppress everything" (bare ``# repro: noqa``).
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressed[lineno] = set()
+        else:
+            suppressed[lineno] = {
+                c.strip().upper() for c in codes.split(",") if c.strip()
+            }
+    return suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[type] = ALL_RULES,
+) -> List[Finding]:
+    """Lint one source string and return the surviving findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                column=exc.offset or 0,
+                rule="REP000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    imports = ImportMap(tree)
+    findings: List[Finding] = []
+    for rule_cls in rules:
+        rule = rule_cls(path, imports)
+        rule.visit(tree)
+        findings.extend(rule.findings)
+    suppressed = _noqa_lines(source)
+    kept = []
+    for finding in findings:
+        codes = suppressed.get(finding.line)
+        if codes is not None and (not codes or finding.rule in codes):
+            continue
+        kept.append(finding)
+    return sorted(kept)
+
+
+def lint_file(path: Union[str, Path]) -> List[Finding]:
+    """Lint one Python file."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path))
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+        elif not p.exists():
+            raise FileNotFoundError(f"no such file or directory: {p}")
+    return files
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> List[Finding]:
+    """Lint every Python file under the given files/directories."""
+    findings: List[Finding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_file(file))
+    return sorted(findings)

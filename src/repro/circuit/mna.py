@@ -18,6 +18,7 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.analysis.contracts import check_enabled, check_mna_system
 from repro.circuit.netlist import (
     GROUND,
     Capacitor,
@@ -76,13 +77,14 @@ def assemble(netlist: Netlist) -> MNASystem:
         return -1 if node == GROUND else node_index[node]
 
     def stamp_pair(matrix: np.ndarray, na: int, nb: int, value: float) -> None:
+        # Stamping writes into A/E by design; the matrices are owned here.
         if na >= 0:
-            matrix[na, na] += value
+            matrix[na, na] += value  # repro: noqa[REP005] in-place stamp
         if nb >= 0:
-            matrix[nb, nb] += value
+            matrix[nb, nb] += value  # repro: noqa[REP005] in-place stamp
         if na >= 0 and nb >= 0:
-            matrix[na, nb] -= value
-            matrix[nb, na] -= value
+            matrix[na, nb] -= value  # repro: noqa[REP005] in-place stamp
+            matrix[nb, na] -= value  # repro: noqa[REP005] in-place stamp
 
     for comp in netlist.components:
         if isinstance(comp, Resistor):
@@ -131,7 +133,7 @@ def assemble(netlist: Netlist) -> MNASystem:
             s[n_nodes + k] = evaluate_waveform(src.waveform, t)
         return s
 
-    return MNASystem(
+    system = MNASystem(
         a_matrix=a,
         e_matrix=e,
         source=source,
@@ -139,3 +141,5 @@ def assemble(netlist: Netlist) -> MNASystem:
         vsource_index=vsource_index,
         n_nodes=n_nodes,
     )
+    check_enabled(check_mna_system, system)
+    return system

@@ -16,6 +16,10 @@ Subcommands
     Sec. 3 ``routing`` overhead, the ``ablations``, the ``related``-work
     CAC comparison, or the ``noc`` case study) and print its table —
     ``--format csv|json`` for machine-readable output.
+``lint``
+    Run the repo-specific static linter (rules ``REP001`` .. ``REP005``,
+    see ``docs/static_analysis.md``) over files or directories; exits
+    non-zero when findings remain, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -174,6 +178,12 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import run_lint
+
+    return run_lint(args.paths, output_format=args.format)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tsv",
@@ -227,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("--output", default=None,
                           help="write machine-readable output to a file")
     p_figure.set_defaults(func=cmd_figure)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repo-specific static linter (REP001..REP005)"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument("--format", default="text",
+                        choices=("text", "json"))
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -20,6 +20,11 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    check_enabled,
+    check_signed_permutation,
+    check_switching_matrix,
+)
 from repro.stats.switching import BitStatistics
 
 
@@ -87,6 +92,7 @@ class SignedPermutation:
     def from_matrix(cls, a_pi: np.ndarray) -> "SignedPermutation":
         """Parse an explicit Eq. 5 matrix (one +-1 per row and column)."""
         a = np.asarray(a_pi)
+        check_enabled(check_signed_permutation, a)
         n = a.shape[0]
         if a.shape != (n, n):
             raise ValueError("assignment matrix must be square")
@@ -178,6 +184,7 @@ class SignedPermutation:
         """
         if stats.n_lines != self.n_bits:
             raise ValueError("statistics size mismatch")
+        check_enabled(check_switching_matrix, stats)
         order = np.asarray(self.bit_of_line)
         signs = np.where(np.asarray(self.inverted)[order], -1.0, 1.0)
         coupling = stats.coupling[np.ix_(order, order)] * np.outer(signs, signs)

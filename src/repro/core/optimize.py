@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.assignment import AssignmentConstraints, SignedPermutation
 from repro.core.power import PowerModel
+from repro.rng import ensure_rng
 
 CostFunction = Callable[[SignedPermutation], float]
 
@@ -164,8 +165,7 @@ def simulated_annealing(
     best-seen assignment is optionally polished with :func:`greedy_descent`.
     """
     constraints.validate_for(n_bits)
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     if start is None:
         start = _constrained_identity(n_bits, constraints)
     elif not constraints.allows(start):

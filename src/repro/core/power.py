@@ -23,6 +23,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    check_capacitance_matrix,
+    check_enabled,
+    check_signed_permutation,
+    check_switching_matrix,
+)
 from repro.core.assignment import SignedPermutation
 from repro.stats.switching import BitStatistics
 from repro.tsv.capmodel import LinearCapacitanceModel
@@ -34,7 +40,12 @@ def normalized_power(stats: BitStatistics, cap_matrix: np.ndarray) -> float:
     Expanded: ``sum_i E{db_i^2} C_T,i - sum_{i != j} E{db_i db_j} C_ij``
     with ``C_T,i`` the total capacitance on line ``i``. This is exactly the
     Frobenius product of ``T = T_s 1 - T_c`` with ``C``.
+
+    With ``REPRO_CONTRACTS=1`` both inputs are validated: ``C`` must be a
+    SPICE-form capacitance matrix and the statistics mutually consistent.
     """
+    check_enabled(check_switching_matrix, stats)
+    check_enabled(check_capacitance_matrix, cap_matrix)
     cap_matrix = np.asarray(cap_matrix, dtype=float)
     n = stats.n_lines
     if cap_matrix.shape != (n, n):
@@ -76,6 +87,7 @@ class PowerModel:
             capacitance = np.asarray(capacitance, dtype=float)
             if capacitance.shape != (stats.n_lines, stats.n_lines):
                 raise ValueError("capacitance matrix size mismatch")
+            check_enabled(check_capacitance_matrix, capacitance)
             self.cap_model = None
             self.cap_matrix = capacitance
 
@@ -101,6 +113,7 @@ class PowerModel:
         """
         if assignment is None:
             assignment = SignedPermutation.identity(self.n_lines)
+        check_enabled(check_signed_permutation, assignment)
         line_stats = assignment.apply_to_statistics(self.stats)
         cap = self.line_capacitance(line_stats)
         return normalized_power(line_stats, cap)

@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.datagen.util import quantize_to_integers, words_to_bits
+from repro.rng import ensure_rng
 
 
 def ar1_gaussian_samples(
@@ -38,8 +39,7 @@ def ar1_gaussian_samples(
         raise ValueError("sigma must be non-negative")
     if not -1.0 < rho < 1.0:
         raise ValueError(f"rho must be in (-1, 1), got {rho}")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     innovations = rng.standard_normal(n_samples)
     x = np.empty(n_samples)
     x[0] = innovations[0]

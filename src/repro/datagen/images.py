@@ -30,6 +30,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.datagen.util import append_stable_lines, words_to_bits
+from repro.rng import ensure_rng
 
 #: Indices of the stable lines appended by
 #: :func:`rgb_parallel_with_stable_stream`, in order.
@@ -53,8 +54,7 @@ def synthetic_scene(
         raise ValueError("scene must be at least 4x4")
     if correlation_length <= 0.0:
         raise ValueError("correlation_length must be positive")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
 
     texture = ndimage.gaussian_filter(
         rng.standard_normal((height, width)), sigma=correlation_length
@@ -93,8 +93,7 @@ def synthetic_rgb_scene(
     is what makes the paper's colour-multiplexed transmission lose its
     temporal correlation.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     luminance = synthetic_scene(height, width, correlation_length, rng=rng)
     channels = []
     for _ in range(3):

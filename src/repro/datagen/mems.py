@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.datagen.util import interleave_streams, quantize_to_integers, words_to_bits
+from repro.rng import ensure_rng
 
 SENSORS = ("accelerometer", "gyroscope", "magnetometer")
 SCENARIOS = ("rest", "walking", "driving", "rotating")
@@ -93,8 +94,7 @@ def sensor_axes(
         raise ValueError(f"unknown sensor {sensor!r}; choose from {SENSORS}")
     if n_samples < 2:
         raise ValueError("n_samples must be >= 2")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     recipes = _recipes(scenario)[sensor]
     t = np.arange(n_samples, dtype=float)
     axes = []
@@ -156,8 +156,7 @@ def all_sensors_mux_stream(
     The paper's "for completeness" case: one TSV array carries the three
     XYZ-interleaved sensor streams in regular rotation.
     """
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     words_per_sensor: List[np.ndarray] = []
     for sensor in SENSORS:
         axes = sensor_axes(sensor, scenario, n_samples, rng)

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.datagen.util import words_to_bits
+from repro.rng import ensure_rng
 
 
 def uniform_random_words(
@@ -25,8 +26,7 @@ def uniform_random_words(
         raise ValueError("n_samples must be >= 1")
     if width < 1:
         raise ValueError("width must be >= 1")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     return rng.integers(0, 1 << width, n_samples, dtype=np.int64)
 
 

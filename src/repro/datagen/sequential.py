@@ -16,6 +16,7 @@ from typing import Optional
 import numpy as np
 
 from repro.datagen.util import words_to_bits
+from repro.rng import ensure_rng
 
 
 def program_counter_words(
@@ -39,8 +40,7 @@ def program_counter_words(
         raise ValueError(
             f"branch_probability must be in [0, 1], got {branch_probability}"
         )
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     modulus = 1 << width
     branches = rng.random(n_samples) < branch_probability
     targets = rng.integers(0, modulus, n_samples, dtype=np.int64)

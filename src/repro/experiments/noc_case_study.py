@@ -25,13 +25,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
-
 from repro.experiments.common import ExperimentRow, format_table
 from repro.noc.power import optimize_vertical_links
 from repro.noc.simulation import simulate_link_traces
 from repro.noc.topology import MeshTopology
 from repro.noc.traffic import hotspot_traffic, transpose_traffic, uniform_traffic
+from repro.rng import ensure_rng
 
 FLIT_WIDTH = 9  # 8 payload bits + parity, a 3x3 TSV array per link
 
@@ -46,7 +45,7 @@ def run(
         n_packets = 80 if fast else 400
     flits_per_packet = 8 if fast else 16
     sa_steps = 40 if fast else None
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed=seed)
 
     workloads = {
         "uniform": uniform_traffic(
@@ -72,7 +71,7 @@ def run(
             traces,
             sa_steps=sa_steps,
             baseline_samples=15 if fast else 30,
-            rng=np.random.default_rng(seed),
+            rng=ensure_rng(seed=seed),
         )
         rows.append(
             ExperimentRow(

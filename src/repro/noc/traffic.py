@@ -13,17 +13,22 @@ spatial patterns are the classic NoC benchmarks:
 Flit payloads come from the library's data generators: ``payload="random"``
 for uncoded random words, ``payload="gaussian"`` for DSP-like correlated
 words *within* each packet.
+
+All generators accept ``rng`` as a :class:`numpy.random.Generator`, an
+integer seed, or ``None`` (the library default seed) — see
+:func:`repro.rng.ensure_rng` — so traces are reproducible by default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.datagen.gaussian import ar1_gaussian_words
 from repro.noc.topology import Coordinate, MeshTopology
+from repro.rng import RngLike, ensure_rng
 
 PAYLOADS = ("random", "gaussian")
 
@@ -84,11 +89,10 @@ def uniform_traffic(
     flit_width: int = 16,
     flits_per_packet: int = 8,
     payload: str = "gaussian",
-    rng: Optional[np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> PacketTrace:
     """Uniform random source/destination pairs (source != destination)."""
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     nodes = list(topology.nodes())
     if len(nodes) < 2:
         raise ValueError("uniform traffic needs at least two routers")
@@ -110,15 +114,14 @@ def hotspot_traffic(
     flit_width: int = 16,
     flits_per_packet: int = 8,
     payload: str = "gaussian",
-    rng: Optional[np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> PacketTrace:
     """Uniform traffic with a fraction redirected to one hot router."""
     if not 0.0 <= hotspot_fraction <= 1.0:
         raise ValueError("hotspot_fraction must be in [0, 1]")
     if not topology.contains(hotspot):
         raise ValueError("hotspot outside the mesh")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     nodes = list(topology.nodes())
     pairs = []
     for _ in range(n_packets):
@@ -139,13 +142,12 @@ def transpose_traffic(
     flit_width: int = 16,
     flits_per_packet: int = 8,
     payload: str = "gaussian",
-    rng: Optional[np.random.Generator] = None,
+    rng: RngLike = None,
 ) -> PacketTrace:
     """(x, y, z) -> (y, x, nz-1-z): every packet crosses the stack."""
     if topology.nx != topology.ny:
         raise ValueError("transpose traffic needs a square x/y footprint")
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = ensure_rng(rng)
     pairs = []
     for _ in range(packets_per_node):
         for node in topology.nodes():

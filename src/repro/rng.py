@@ -1,0 +1,55 @@
+"""Deterministic random-number policy for the whole library.
+
+Every stochastic routine in the library takes an ``rng`` parameter. When the
+caller passes nothing, the routine must still be *reproducible* — two runs of
+the same experiment have to produce the same tables — so the fallback is a
+generator seeded with :data:`DEFAULT_SEED` (the paper's publication year),
+never the OS-entropy default of ``np.random.default_rng()``.
+
+:func:`ensure_rng` implements the policy in one place. It accepts
+
+* an existing :class:`numpy.random.Generator` (returned as-is, so generator
+  state keeps flowing through a pipeline),
+* an integer seed (wrapped in a fresh generator), or
+* ``None`` (a fresh generator seeded with ``seed`` or :data:`DEFAULT_SEED`).
+
+The ``REP001`` rule of :mod:`repro.analysis.linter` flags any direct
+unseeded ``np.random.default_rng()`` call so new code cannot regress.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+#: Seed of last resort — the paper's publication year, also used by the CLI.
+DEFAULT_SEED = 2018
+
+#: What stochastic APIs accept: a generator, a plain seed, or nothing.
+RngLike = Union[np.random.Generator, int, None]
+
+
+def ensure_rng(
+    rng: RngLike = None, seed: Optional[int] = None
+) -> np.random.Generator:
+    """Canonicalize an ``rng`` argument into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        A generator (returned unchanged), an integer seed, or ``None``.
+    seed:
+        Fallback seed used only when ``rng`` is ``None``; defaults to
+        :data:`DEFAULT_SEED`.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is not None:
+        if not isinstance(rng, (int, np.integer)):
+            raise TypeError(
+                f"rng must be a numpy Generator, an int seed or None, "
+                f"got {type(rng).__name__}"
+            )
+        return np.random.default_rng(int(rng))
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)

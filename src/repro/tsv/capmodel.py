@@ -24,6 +24,11 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import (
+    check_capacitance_matrix,
+    check_enabled,
+    check_probabilities,
+)
 from repro.tsv.extractor import CapacitanceExtractor
 
 
@@ -117,6 +122,7 @@ class LinearCapacitanceModel:
         """
         if probabilities is None:
             return self.c_r.copy()
+        check_enabled(check_probabilities, probabilities)
         eps = epsilon_from_probabilities(probabilities)
         if eps.shape != (self.n_lines,):
             raise ValueError(f"need {self.n_lines} probabilities, got {eps.shape}")
@@ -154,6 +160,9 @@ class LinearCapacitanceModel:
             raise ValueError(f"techfile {path} misses field {exc}") from exc
         if version != 1:
             raise ValueError(f"unsupported techfile version {version}")
+        check_enabled(
+            check_capacitance_matrix, c_r, name=f"techfile {path} c_r"
+        )
         return cls(c_r=c_r, delta_c=delta_c)
 
     def nrmse(

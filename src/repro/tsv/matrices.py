@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import check_capacitance_matrix, check_enabled
+
 
 def maxwell_to_spice(c_maxwell: np.ndarray) -> np.ndarray:
     """Convert a Maxwell capacitance matrix to SPICE (ground + coupling) form.
@@ -32,6 +34,7 @@ def maxwell_to_spice(c_maxwell: np.ndarray) -> np.ndarray:
     np.fill_diagonal(spice, ground)
     off = ~np.eye(c.shape[0], dtype=bool)
     spice[off] = np.clip(spice[off], 0.0, None)
+    check_enabled(check_capacitance_matrix, spice, name="converted matrix")
     return spice
 
 
@@ -76,6 +79,7 @@ def total_capacitance(c_spice: np.ndarray) -> np.ndarray:
     """
     c = np.asarray(c_spice, dtype=float)
     _require_square(c)
+    check_enabled(check_capacitance_matrix, c)
     return c.sum(axis=1)
 
 

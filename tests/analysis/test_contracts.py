@@ -1,0 +1,283 @@
+"""Contract-layer tests: every validator, the toggle, and the boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    check_capacitance_matrix,
+    check_mna_system,
+    check_probabilities,
+    check_signed_permutation,
+    check_switching_matrix,
+    contract,
+    contracts_enabled,
+    contracts_override,
+)
+from repro.circuit.mna import assemble
+from repro.circuit.netlist import GROUND, Netlist
+from repro.core.assignment import SignedPermutation
+from repro.core.power import PowerModel, normalized_power
+from repro.stats.switching import BitStatistics
+from repro.tsv.matrices import maxwell_to_spice
+
+
+def make_stats(n=4, seed=7):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((256, n)) < 0.5).astype(np.uint8)
+    return BitStatistics.from_stream(bits)
+
+
+def spice_matrix(n=4):
+    c = np.full((n, n), 0.2e-15)
+    np.fill_diagonal(c, 1.0e-15)
+    return c
+
+
+def invalid_permutation():
+    """Bypass __post_init__ to build a structurally broken assignment."""
+    bad = SignedPermutation.__new__(SignedPermutation)
+    object.__setattr__(bad, "line_of_bit", (0, 0, 2, 3))
+    object.__setattr__(bad, "inverted", (False, False, False, False))
+    return bad
+
+
+# ---------------------------------------------------------------------------
+# Toggle
+# ---------------------------------------------------------------------------
+
+
+def test_contracts_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+    assert not contracts_enabled()
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("on", True), ("yes", True),
+    ("0", False), ("false", False), ("off", False), ("", False),
+])
+def test_contracts_env_values(monkeypatch, value, expected):
+    monkeypatch.setenv("REPRO_CONTRACTS", value)
+    assert contracts_enabled() is expected
+
+
+def test_contracts_override_restores_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    with contracts_override(True):
+        assert contracts_enabled()
+    assert not contracts_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Validators
+# ---------------------------------------------------------------------------
+
+
+def test_check_probabilities_accepts_valid():
+    p = check_probabilities([0.0, 0.5, 1.0])
+    assert p.shape == (3,)
+
+
+@pytest.mark.parametrize("bad,invariant", [
+    ([0.5, 1.5], "probability-range"),
+    ([-0.1, 0.5], "probability-range"),
+    ([[0.5]], "probability-shape"),
+    ([np.nan, 0.5], "probability-finite"),
+])
+def test_check_probabilities_rejects(bad, invariant):
+    with pytest.raises(ContractViolation) as excinfo:
+        check_probabilities(bad)
+    assert excinfo.value.invariant == invariant
+    assert invariant in str(excinfo.value)
+
+
+def test_check_capacitance_matrix_accepts_spice_form():
+    check_capacitance_matrix(spice_matrix())
+
+
+def test_check_capacitance_matrix_rejects_asymmetry():
+    c = spice_matrix()
+    c[0, 1] *= 3.0
+    with pytest.raises(ContractViolation) as excinfo:
+        check_capacitance_matrix(c)
+    assert excinfo.value.invariant == "capacitance-symmetry"
+
+
+def test_check_capacitance_matrix_rejects_negative_coupling():
+    c = spice_matrix()
+    c[0, 1] = c[1, 0] = -0.5e-15
+    with pytest.raises(ContractViolation) as excinfo:
+        check_capacitance_matrix(c)
+    assert excinfo.value.invariant == "capacitance-spice-form"
+
+
+@pytest.mark.parametrize("bad,invariant", [
+    (np.ones((2, 3)), "capacitance-square"),
+    (np.full((2, 2), np.nan), "capacitance-finite"),
+])
+def test_check_capacitance_matrix_rejects_shape_and_nan(bad, invariant):
+    with pytest.raises(ContractViolation) as excinfo:
+        check_capacitance_matrix(bad)
+    assert excinfo.value.invariant == invariant
+
+
+def test_check_signed_permutation_accepts_object_and_matrix():
+    perm = SignedPermutation.from_sequence((2, 0, 1), (True, False, False))
+    check_signed_permutation(perm)
+    check_signed_permutation(perm.matrix())
+
+
+@pytest.mark.parametrize("matrix", [
+    np.array([[1.0, 0.0], [1.0, 0.0]]),   # doubled column
+    np.array([[2.0, 0.0], [0.0, 1.0]]),   # entry not +-1
+    np.array([[1.0, 1.0], [0.0, 1.0]]),   # two entries in a row
+    np.zeros((2, 2)),                     # empty row/column
+])
+def test_check_signed_permutation_rejects_matrices(matrix):
+    with pytest.raises(ContractViolation) as excinfo:
+        check_signed_permutation(matrix)
+    assert excinfo.value.invariant == "signed-permutation"
+
+
+def test_check_signed_permutation_rejects_broken_object():
+    with pytest.raises(ContractViolation) as excinfo:
+        check_signed_permutation(invalid_permutation())
+    assert excinfo.value.invariant == "signed-permutation"
+
+
+def test_check_switching_matrix_accepts_empirical_stats():
+    check_switching_matrix(make_stats())
+
+
+def test_check_switching_matrix_rejects_asymmetric_coupling():
+    stats = make_stats()
+    coupling = stats.coupling.copy()
+    coupling[0, 1] += 0.2
+    bad = BitStatistics(
+        self_switching=stats.self_switching,
+        coupling=coupling,
+        probabilities=stats.probabilities,
+        n_samples=stats.n_samples,
+    )
+    with pytest.raises(ContractViolation) as excinfo:
+        check_switching_matrix(bad)
+    assert excinfo.value.invariant == "switching-symmetry"
+
+
+def test_check_switching_matrix_rejects_cauchy_schwarz_violation():
+    n = 3
+    self_switching = np.full(n, 0.25)
+    coupling = np.full((n, n), 0.9)  # far above sqrt(0.25 * 0.25)
+    np.fill_diagonal(coupling, self_switching)
+    bad = BitStatistics.from_moments(
+        self_switching, coupling, np.full(n, 0.5)
+    )
+    with pytest.raises(ContractViolation) as excinfo:
+        check_switching_matrix(bad)
+    assert excinfo.value.invariant == "switching-cauchy-schwarz"
+
+
+def test_check_mna_system_accepts_assembled_netlist():
+    netlist = Netlist()
+    netlist.voltage_source("in", GROUND, 1.0)
+    netlist.resistor("in", "out", 50.0)
+    netlist.capacitor("out", GROUND, 1e-15)
+    check_mna_system(assemble(netlist))
+
+
+def test_check_mna_system_rejects_nan():
+    class Broken:
+        a_matrix = np.full((2, 2), np.nan)
+        e_matrix = np.zeros((2, 2))
+        n_nodes = 2
+
+    with pytest.raises(ContractViolation) as excinfo:
+        check_mna_system(Broken())
+    assert excinfo.value.invariant == "mna-finite"
+
+
+# ---------------------------------------------------------------------------
+# Boundary wiring (the acceptance criteria)
+# ---------------------------------------------------------------------------
+
+
+def test_powermodel_rejects_asymmetric_capacitance_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    stats = make_stats()
+    c = spice_matrix()
+    c[0, 1] *= 5.0
+    with pytest.raises(ContractViolation, match="capacitance-symmetry"):
+        PowerModel(stats, c)
+
+
+def test_powermodel_accepts_asymmetric_capacitance_when_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    stats = make_stats()
+    c = spice_matrix()
+    c[0, 1] *= 5.0
+    assert np.isfinite(PowerModel(stats, c).power())
+
+
+def test_powermodel_rejects_invalid_assignment_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    model = PowerModel(make_stats(), spice_matrix())
+    with pytest.raises(ContractViolation, match="signed-permutation"):
+        model.power(invalid_permutation())
+
+
+def test_normalized_power_checks_inputs_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    stats = make_stats()
+    c = spice_matrix()
+    c[2, 3] *= 4.0
+    with pytest.raises(ContractViolation, match="capacitance-symmetry"):
+        normalized_power(stats, c)
+
+
+def test_from_matrix_contract_error_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    with pytest.raises(ContractViolation, match="signed-permutation"):
+        SignedPermutation.from_matrix(np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+
+def test_maxwell_to_spice_postcondition_when_enabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    maxwell = np.array([[2.0, -0.5], [-0.5, 2.0]])
+    check_capacitance_matrix(maxwell_to_spice(maxwell))
+    asymmetric = np.array([[2.0, -0.5], [-0.9, 2.0]])
+    with pytest.raises(ContractViolation, match="capacitance-symmetry"):
+        maxwell_to_spice(asymmetric)
+
+
+# ---------------------------------------------------------------------------
+# The decorator
+# ---------------------------------------------------------------------------
+
+
+def test_contract_decorator_validates_named_parameters(monkeypatch):
+    @contract(probabilities=check_probabilities)
+    def f(probabilities, other=None):
+        return "ran"
+
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    assert f([0.5, 0.5]) == "ran"
+    with pytest.raises(ContractViolation):
+        f([1.5])
+    monkeypatch.setenv("REPRO_CONTRACTS", "0")
+    assert f([1.5]) == "ran"
+
+
+def test_contract_decorator_skips_none_arguments(monkeypatch):
+    @contract(probabilities=check_probabilities)
+    def f(probabilities=None):
+        return "ran"
+
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    assert f() == "ran"
+
+
+def test_contract_decorator_rejects_unknown_parameter():
+    with pytest.raises(TypeError, match="unknown"):
+        @contract(nonexistent=check_probabilities)
+        def f(x):
+            return x

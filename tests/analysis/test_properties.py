@@ -1,0 +1,95 @@
+"""Property tests: round-trips and contract acceptance of valid instances."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.contracts import (
+    check_capacitance_matrix,
+    check_probabilities,
+    check_signed_permutation,
+    check_switching_matrix,
+)
+from repro.core.assignment import SignedPermutation
+from repro.stats.switching import BitStatistics
+
+
+@st.composite
+def signed_permutations(draw, max_bits=8):
+    n = draw(st.integers(min_value=1, max_value=max_bits))
+    lines = draw(st.permutations(range(n)))
+    inverted = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n)
+    )
+    return SignedPermutation(tuple(lines), tuple(inverted))
+
+
+@given(signed_permutations())
+def test_signed_permutation_roundtrips_through_matrix_form(perm):
+    """Eq. 5: object -> A_pi matrix -> object is the identity."""
+    recovered = SignedPermutation.from_matrix(perm.matrix())
+    assert recovered == perm
+
+
+@given(signed_permutations())
+def test_matrix_form_is_orthogonal(perm):
+    """A_pi^-1 = A_pi^T — the congruences of Eq. 4/9 preserve totals."""
+    a = perm.matrix()
+    assert np.allclose(a @ a.T, np.eye(perm.n_bits))
+    assert np.allclose(perm.inverse().matrix(), a.T)
+
+
+@given(signed_permutations())
+def test_contract_accepts_every_valid_signed_permutation(perm):
+    check_signed_permutation(perm)
+    check_signed_permutation(perm.matrix())
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_contract_accepts_every_valid_probability_vector(n, seed):
+    rng = np.random.default_rng(seed)
+    check_probabilities(rng.uniform(0.0, 1.0, n))
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_contract_accepts_every_symmetric_nonnegative_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.0, 1.0, (n, n))
+    check_capacitance_matrix((raw + raw.T) / 2.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=2, max_value=64),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_contract_accepts_statistics_of_any_real_bit_stream(
+    n_lines, n_samples, seed
+):
+    """Empirical moments always satisfy the Eq. 3 consistency contract."""
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((n_samples, n_lines)) < rng.uniform(0.05, 0.95)).astype(
+        np.uint8
+    )
+    stats = BitStatistics.from_stream(bits)
+    check_switching_matrix(stats)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    signed_permutations(max_bits=6),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_line_statistics_stay_valid_under_any_assignment(perm, seed):
+    """Eq. 4 transforms of valid statistics remain valid statistics."""
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((64, perm.n_bits)) < 0.5).astype(np.uint8)
+    stats = BitStatistics.from_stream(bits)
+    check_switching_matrix(perm.apply_to_statistics(stats))

@@ -1,0 +1,35 @@
+"""Analyzer speed: shallow AST lint and deep shape/unit inference.
+
+The deep pass (``repro-tsv lint --deep``) runs in CI and pre-commit on
+every change, so its wall time over ``src/repro`` belongs in the bench
+trajectory next to the physics kernels: a regression here slows every
+contributor.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import analyze_paths
+from repro.analysis.linter import iter_python_files, lint_paths
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+@pytest.fixture(scope="module")
+def src_tree():
+    files = list(iter_python_files([SRC]))
+    assert len(files) > 30, "src/repro tree unexpectedly small"
+    return [SRC]
+
+
+def test_shallow_lint_src(benchmark, src_tree):
+    """AST rules REP001..REP005 over the whole package."""
+    findings = benchmark(lint_paths, src_tree)
+    assert findings == []
+
+
+def test_deep_lint_src(benchmark, src_tree):
+    """Interprocedural shape/unit pass REP101..REP104 over the package."""
+    findings = benchmark(analyze_paths, src_tree)
+    assert findings == []

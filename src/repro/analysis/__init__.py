@@ -5,7 +5,10 @@ Two halves:
 * :mod:`repro.analysis.linter` — an AST linter with repo-specific rules
   (``REP001`` .. ``REP005``): RNG reproducibility, vectorization,
   deprecated NumPy API, float equality, parameter mutation. Run it with
-  ``repro-tsv lint`` or ``python -m repro.analysis``.
+  ``repro-tsv lint`` or ``python -m repro.analysis``. With ``--deep`` the
+  interprocedural shape/unit pass of :mod:`repro.analysis.flow` adds the
+  ``REP101`` .. ``REP104`` family (symbolic ndarray shapes, SI units,
+  Maxwell/SPICE matrix form, probability bounds).
 * :mod:`repro.analysis.contracts` — validators for the paper's physical
   invariants (SPICE-form ``C``, Eq. 5 signed permutations, probability
   ranges, ``T_s``/``T_c`` consistency), enforced at the core boundaries
@@ -31,13 +34,21 @@ from repro.analysis.contracts import (
     contracts_enabled,
     contracts_override,
 )
-from repro.analysis.findings import Finding, render_json, render_text, summarize
+from repro.analysis.findings import (
+    Finding,
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+    summarize,
+)
 from repro.analysis.linter import ALL_RULES, lint_file, lint_paths, lint_source
 
 __all__ = [
     "ALL_RULES",
     "ContractViolation",
     "Finding",
+    "LINT_FORMATS",
     "check_capacitance_matrix",
     "check_enabled",
     "check_mna_system",
@@ -53,25 +64,41 @@ __all__ = [
     "run_lint",
 ]
 
+#: Output formats ``run_lint`` understands (and the CLI exposes).
+LINT_FORMATS = ("text", "json", "sarif", "github")
+
 
 def run_lint(
     paths: Sequence[str],
     output_format: str = "text",
     stream=None,
+    deep: bool = False,
 ) -> int:
     """Lint ``paths`` and print findings; return a CI-friendly exit code.
 
     ``0`` when clean, ``1`` when findings exist, ``2`` on usage errors
-    (e.g. a path that does not exist).
+    (e.g. a path that does not exist). With ``deep=True`` the
+    interprocedural shape/unit pass (``REP101``..``REP104``) runs on top
+    of the shallow AST rules.
     """
     stream = sys.stdout if stream is None else stream
     try:
         findings = lint_paths(paths)
+        if deep:
+            from repro.analysis.flow import analyze_paths
+
+            findings = sorted(set(findings) | set(analyze_paths(paths)))
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if output_format == "json":
         print(render_json(findings), file=stream)
+    elif output_format == "sarif":
+        print(render_sarif(findings), file=stream)
+    elif output_format == "github":
+        if findings:
+            print(render_github(findings), file=stream)
+        print(f"# {summarize(findings)}", file=stream)
     else:
         if findings:
             print(render_text(findings), file=stream)
@@ -85,15 +112,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="repo-specific physics/numerics linter (REP001..REP005)",
+        description=(
+            "repo-specific physics/numerics linter "
+            "(REP001..REP005, --deep adds REP101..REP104)"
+        ),
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", default="text", choices=("text", "json"),
+        "--format", default="text", choices=LINT_FORMATS,
         help="output format",
     )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="run the interprocedural shape/unit inference pass too",
+    )
     args = parser.parse_args(argv)
-    return run_lint(args.paths, output_format=args.format)
+    return run_lint(args.paths, output_format=args.format, deep=args.deep)

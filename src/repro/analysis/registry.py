@@ -1,0 +1,212 @@
+"""Registry of shape/unit signatures seeding the deep-lint flow pass.
+
+Core modules annotate themselves with a module-level ``REPRO_SIGNATURES``
+dict (statically readable — the flow pass also picks these dicts out of
+any file it analyzes, so fixtures and new modules can declare their own).
+Each entry maps a function, class, method or attribute name to a *spec*:
+
+``"funcname": {"param": "<spec>", ..., "return": "<spec>"}``
+    a function / method / constructor signature;
+``"ClassName.attr": "<spec>"``
+    the type of an instance attribute or property.
+
+The spec mini-language is one line per value::
+
+    spec        := objtype | shape [unit] [tag ...] | "any"
+    shape       := "scalar" | "(" dim {"," dim} ")"
+    dim         := INT | SYM | INT SYM | "?"        # e.g. 16, N, 2N, ?
+    unit        := farad | volt | joule | watt | second | hertz | meter
+                 | ohm | henry | ampere | coulomb | bit | probability
+                 | dimensionless
+    tag         := spice | maxwell
+    objtype     := a capitalized class name, e.g. BitStatistics
+
+Alternatives are separated by ``|`` (``"(N, N) farad spice | LinearCapacitanceModel"``);
+an argument is only reported when it conflicts with *every* alternative.
+Symbols are shared across one signature: ``N`` in two parameters means
+the same size at every call site.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.shapes import Shape, parse_dim
+from repro.analysis.units import DIMENSIONLESS, AbstractValue, parse_unit
+
+__all__ = [
+    "Signature",
+    "SignatureRegistry",
+    "build_registry",
+    "parse_spec",
+]
+
+#: Modules whose ``REPRO_SIGNATURES`` seed the registry. Kept explicit so
+#: the registry is importable without scanning the whole package.
+ANNOTATED_MODULES = (
+    "repro.stats.switching",
+    "repro.core.assignment",
+    "repro.core.power",
+    "repro.tsv.matrices",
+    "repro.tsv.capmodel",
+    "repro.tsv.extractor",
+    "repro.circuit.mna",
+    "repro.datagen.gaussian",
+)
+
+SpecDict = Mapping[str, str]
+
+
+def _parse_single(spec: str) -> AbstractValue:
+    tokens_source = spec.strip()
+    if not tokens_source or tokens_source == "any":
+        return AbstractValue()
+    # Object type: a capitalized identifier.
+    if tokens_source.isidentifier() and tokens_source[0].isupper():
+        return AbstractValue(obj=tokens_source)
+    shape: Optional[Shape]
+    rest = tokens_source
+    if rest.startswith("("):
+        close = rest.index(")")
+        dims = [t for t in rest[1:close].split(",") if t.strip()]
+        shape = tuple(parse_dim(t) for t in dims)
+        rest = rest[close + 1:]
+    elif rest.split()[0] == "scalar":
+        shape = ()
+        rest = rest.split(None, 1)[1] if " " in rest.strip() else ""
+    else:
+        raise ValueError(f"malformed spec {spec!r}: expected shape or object")
+    unit = None
+    form = None
+    prob = None
+    rng = None
+    for token in rest.split():
+        if token in ("spice", "maxwell"):
+            form = token
+        elif token == "probability":
+            unit, prob, rng = DIMENSIONLESS, True, (0.0, 1.0)
+        elif token == "bit":
+            unit, rng = DIMENSIONLESS, (0.0, 1.0)
+        elif token == "any":
+            unit = None
+        else:
+            unit = parse_unit(token)
+    return AbstractValue(shape=shape, unit=unit, form=form, prob=prob, rng=rng)
+
+
+def parse_spec(spec: str) -> List[AbstractValue]:
+    """Parse a spec string into its list of accepted alternatives."""
+    return [_parse_single(part) for part in spec.split("|")]
+
+
+@dataclass
+class Signature:
+    """Parsed signature of one callable."""
+
+    name: str
+    params: Dict[str, List[AbstractValue]] = field(default_factory=dict)
+    order: Tuple[str, ...] = ()
+    ret: Optional[List[AbstractValue]] = None
+
+    def param_for_position(self, index: int) -> Optional[str]:
+        return self.order[index] if index < len(self.order) else None
+
+
+def _parse_signature(name: str, spec: SpecDict) -> Signature:
+    params: Dict[str, List[AbstractValue]] = {}
+    order: List[str] = []
+    ret = None
+    for key, value in spec.items():
+        if key == "return":
+            ret = parse_spec(value)
+        else:
+            params[key] = parse_spec(value)
+            order.append(key)
+    return Signature(name=name, params=params, order=tuple(order), ret=ret)
+
+
+class SignatureRegistry:
+    """All known signatures, addressable by dotted name and member name.
+
+    ``functions`` is keyed by every name a call site might canonicalize
+    to: ``repro.tsv.matrices.maxwell_to_spice`` for plain functions and
+    both ``repro.stats.switching.BitStatistics.from_stream`` and
+    ``BitStatistics.from_stream`` for members. ``attributes`` maps
+    ``ClassName.attr`` to the attribute's abstract value, and
+    ``constructors`` maps a class's dotted name to its instance type.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, Signature] = {}
+        self.attributes: Dict[str, AbstractValue] = {}
+        self.object_classes: Dict[str, str] = {}  # dotted name -> class name
+
+    # -- population -----------------------------------------------------------
+
+    def add_module_signatures(self, module_name: str, raw: Mapping) -> None:
+        """Merge one module's ``REPRO_SIGNATURES`` dict."""
+        for key, spec in raw.items():
+            if not isinstance(key, str):
+                continue
+            dotted = f"{module_name}.{key}" if module_name else key
+            if isinstance(spec, str):
+                # "ClassName.attr": "<spec>" — an attribute/property type.
+                alternatives = parse_spec(spec)
+                self.attributes[key] = alternatives[0]
+                self.attributes[dotted] = alternatives[0]
+                continue
+            sig = _parse_signature(dotted, spec)
+            self.functions[dotted] = sig
+            head = key.split(".")[0]
+            if head[:1].isupper():
+                # Class member (or the constructor itself): also reachable
+                # as "ClassName.member" on an instance/registry object.
+                self.functions[key] = sig
+                if "." not in key:
+                    self.object_classes[dotted] = key
+                    if sig.ret is None:
+                        sig.ret = [AbstractValue(obj=key)]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def function(self, dotted: str) -> Optional[Signature]:
+        return self.functions.get(dotted)
+
+    def member_function(self, obj_type: str, member: str) -> Optional[Signature]:
+        return self.functions.get(f"{obj_type}.{member}")
+
+    def member_attribute(self, obj_type: str, member: str) -> Optional[AbstractValue]:
+        return self.attributes.get(f"{obj_type}.{member}")
+
+    def instance_of(self, dotted: str) -> Optional[str]:
+        return self.object_classes.get(dotted)
+
+
+def build_registry(
+    extra: Sequence[Tuple[str, Mapping]] = (),
+) -> SignatureRegistry:
+    """Assemble the registry from the annotated core modules.
+
+    ``extra`` supplies ``(module_name, signatures_dict)`` pairs harvested
+    statically from the files under analysis, so fixture files and modules
+    outside :data:`ANNOTATED_MODULES` can contribute signatures too.
+    """
+    registry = SignatureRegistry()
+    for module_name in ANNOTATED_MODULES:
+        try:
+            module = importlib.import_module(module_name)
+        except Exception:  # pragma: no cover - partial installs
+            continue
+        raw = getattr(module, "REPRO_SIGNATURES", None)
+        if isinstance(raw, dict):
+            registry.add_module_signatures(module_name, raw)
+    for module_name, raw in extra:
+        if isinstance(raw, dict):
+            registry.add_module_signatures(module_name, raw)
+    return registry
+
+
+#: Convenience alias used by specs/tests.
+SpecLike = Union[str, SpecDict]

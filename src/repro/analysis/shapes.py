@@ -1,0 +1,242 @@
+"""Symbolic ndarray shapes for the deep-lint dataflow pass.
+
+The repository's arrays live in a small family of shapes tied to the
+paper's quantities: ``(N,)`` per-line vectors, ``(N, N)`` line-pair
+matrices (capacitance, coupling statistics), ``(2N, 2N)`` operators on the
+signed-permutation double cover, and ``(T, N)`` sampled bit streams. A
+:class:`Dim` is either a concrete integer, an integer multiple of a named
+symbol (``N``, ``2N``, ``T``), or the wildcard :data:`ANY`.
+
+Symbols are *rigid within one function body*: every registry signature
+uses ``N`` for "number of lines/TSVs" and ``T`` for "number of stream
+samples", so two values typed with different symbols genuinely describe
+different axes and mixing them is reported (``REP101``). A symbol and a
+concrete integer never conflict — the integer may well be that symbol's
+runtime value.
+
+Call sites unify the *callee's* signature symbols (treated as unification
+variables) against the caller's rigid argument dims via
+:class:`Substitution`, so one call binding ``N := 16`` in the first
+argument demands ``16`` wherever else the signature says ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ANY",
+    "Dim",
+    "Shape",
+    "Substitution",
+    "broadcast_shapes",
+    "dim_of",
+    "format_shape",
+    "join_shapes",
+    "matmul_shape",
+    "parse_dim",
+    "rigid_dim_eq",
+    "unify_dim",
+    "unify_shape",
+]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One symbolic dimension: ``coeff * sym`` or the concrete ``coeff``.
+
+    ``sym is None`` means a concrete size; ``sym == "?"`` is the wildcard
+    (use the :data:`ANY` singleton).
+    """
+
+    coeff: int
+    sym: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return format_dim(self)
+
+
+#: Wildcard dimension: compatible with everything, binds nothing.
+ANY = Dim(0, "?")
+
+#: A shape is a tuple of dims; ``()`` is a scalar. ``None`` (used where a
+#: shape is optional) means the rank itself is unknown.
+Shape = Tuple[Dim, ...]
+
+#: Bindings of signature symbols accumulated while checking one call.
+Substitution = Dict[str, Dim]
+
+
+def dim_of(value: int) -> Dim:
+    """Concrete dimension of a known integer size."""
+    return Dim(int(value), None)
+
+
+def parse_dim(token: str) -> Dim:
+    """Parse one spec token: ``16``, ``N``, ``2N`` or ``?``."""
+    token = token.strip()
+    if token == "?":
+        return ANY
+    if token.isdigit():
+        return Dim(int(token), None)
+    split = 0
+    while split < len(token) and token[split].isdigit():
+        split += 1
+    coeff = int(token[:split]) if split else 1
+    sym = token[split:]
+    if not sym.isidentifier():
+        raise ValueError(f"malformed dimension token {token!r}")
+    return Dim(coeff, sym)
+
+
+def format_dim(dim: Dim) -> str:
+    if dim.sym == "?":
+        return "?"
+    if dim.sym is None:
+        return str(dim.coeff)
+    return dim.sym if dim.coeff == 1 else f"{dim.coeff}{dim.sym}"
+
+
+def format_shape(shape: Optional[Shape]) -> str:
+    if shape is None:
+        return "(?)"
+    if shape == ():
+        return "scalar"
+    inner = ", ".join(format_dim(d) for d in shape)
+    return f"({inner},)" if len(shape) == 1 else f"({inner})"
+
+
+def rigid_dim_eq(a: Dim, b: Dim) -> Optional[bool]:
+    """Compare two *rigid* dims: True/False when provable, None otherwise."""
+    if a.sym == "?" or b.sym == "?":
+        return None
+    if a.sym is None and b.sym is None:
+        return a.coeff == b.coeff
+    if a.sym is not None and b.sym is not None:
+        if a.sym != b.sym:
+            return False  # rigid-distinct policy: N and T are different axes
+        return a.coeff == b.coeff
+    return None  # symbol vs concrete: the symbol may take that value
+
+
+def _scale(coeff: int, dim: Dim) -> Dim:
+    if dim.sym == "?":
+        return ANY
+    return Dim(coeff * dim.coeff, dim.sym)
+
+
+def unify_dim(param: Dim, arg: Dim, subst: Substitution) -> bool:
+    """Unify a signature dim against a rigid argument dim.
+
+    Returns False on a provable conflict; True (possibly after binding a
+    symbol in ``subst``) otherwise.
+    """
+    if param.sym == "?" or arg.sym == "?":
+        return True
+    if param.sym is None:
+        return rigid_dim_eq(param, arg) is not False
+    bound = subst.get(param.sym)
+    if bound is not None:
+        return rigid_dim_eq(_scale(param.coeff, bound), arg) is not False
+    # Fresh symbol: bind it to arg / coeff when divisible (N vs 2N guards).
+    if arg.coeff % param.coeff != 0:
+        return False
+    # Binding into the caller's substitution IS the contract here.
+    subst[param.sym] = Dim(arg.coeff // param.coeff, arg.sym)  # repro: noqa[REP005]
+    return True
+
+
+def unify_shape(
+    param: Optional[Shape], arg: Optional[Shape], subst: Substitution
+) -> bool:
+    """Unify a full signature shape; False on provable rank/dim conflict."""
+    if param is None or arg is None:
+        return True
+    if len(param) != len(arg):
+        return False
+    return all(unify_dim(p, a, subst) for p, a in zip(param, arg))
+
+
+def substitute(shape: Optional[Shape], subst: Substitution) -> Optional[Shape]:
+    """Instantiate a signature shape with the bindings of one call."""
+    if shape is None:
+        return None
+    out = []
+    for dim in shape:
+        if dim.sym in (None, "?"):
+            out.append(dim)
+            continue
+        bound = subst.get(dim.sym)
+        out.append(_scale(dim.coeff, bound) if bound is not None else dim)
+    return tuple(out)
+
+
+def join_dim(a: Dim, b: Dim) -> Dim:
+    """Least upper bound of two rigid dims (ANY when they disagree)."""
+    if rigid_dim_eq(a, b) is True:
+        return a
+    if a.sym == "?":
+        return b if rigid_dim_eq(a, b) is None and b.sym != "?" else ANY
+    return ANY
+
+
+def join_shapes(a: Optional[Shape], b: Optional[Shape]) -> Optional[Shape]:
+    """Join two rigid shapes (e.g. the branches of an ``if``)."""
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(join_dim(x, y) for x, y in zip(a, b))
+
+
+def broadcast_shapes(
+    a: Optional[Shape], b: Optional[Shape]
+) -> Tuple[Optional[Shape], bool]:
+    """NumPy broadcast of two rigid shapes.
+
+    Returns ``(result, conflict)``; ``conflict`` is True only when the
+    shapes provably cannot broadcast (neither dim is 1, dims rigidly
+    unequal).
+    """
+    if a is None or b is None:
+        return None, False
+    out = []
+    for i in range(1, max(len(a), len(b)) + 1):
+        da = a[-i] if i <= len(a) else dim_of(1)
+        db = b[-i] if i <= len(b) else dim_of(1)
+        if da == dim_of(1):
+            out.append(db)
+        elif db == dim_of(1):
+            out.append(da)
+        else:
+            eq = rigid_dim_eq(da, db)
+            if eq is False:
+                return None, True
+            out.append(da if eq is True else _prefer(da, db))
+    return tuple(reversed(out)), False
+
+
+def _prefer(a: Dim, b: Dim) -> Dim:
+    """Pick the more informative of two compatible-but-unequal dims."""
+    if a.sym == "?":
+        return b
+    if b.sym == "?":
+        return a
+    return a if a.sym is not None else b
+
+
+def matmul_shape(
+    a: Optional[Shape], b: Optional[Shape]
+) -> Tuple[Optional[Shape], bool]:
+    """Result shape of ``a @ b`` and whether the inner dims provably clash."""
+    if a is None or b is None:
+        return None, False
+    if len(a) == 0 or len(b) == 0:
+        return None, True  # scalar operand: @ is invalid
+    if len(a) == 1 and len(b) == 1:
+        return (), rigid_dim_eq(a[0], b[0]) is False
+    if len(a) == 1:
+        return b[:-2] + b[-1:], rigid_dim_eq(a[0], b[-2]) is False
+    if len(b) == 1:
+        return a[:-1], rigid_dim_eq(a[-1], b[0]) is False
+    conflict = rigid_dim_eq(a[-1], b[-2]) is False
+    return a[:-1] + b[-1:], conflict

@@ -1,0 +1,178 @@
+"""Physical-unit algebra and the abstract value of the deep-lint pass.
+
+Units are SI dimension vectors ``(kg, m, s, A)``; the quantities the
+paper manipulates all live in this space — farads for capacitance, volts
+for swings, joules/watts for power, seconds/hertz for timing, and the
+dimensionless switching statistics and probabilities. Multiplication and
+division add and subtract exponent vectors, so the analyzer can follow
+``P = C · V² · f`` from farads to watts without a table of special cases.
+
+On top of the dimension vector, :class:`AbstractValue` carries the facts
+the REP1xx rules need:
+
+* ``shape`` — symbolic shape (:mod:`repro.analysis.shapes`);
+* ``unit`` — dimension vector, or ``None`` when unknown;
+* ``form`` — capacitance-matrix convention (``"spice"`` / ``"maxwell"``);
+* ``prob`` — ``True`` when provably in ``[0, 1]`` (a probability),
+  ``False`` when *derived from* probabilities but possibly escaped the
+  interval (``p + q``, ``2 * p``, …), ``None`` when not probability-like;
+* ``rng`` — numeric bounds when statically known (literals and their
+  arithmetic), used for the Eq. 9 ``[0, 1]`` bound check;
+* ``lit`` — True for bare numeric literals, which adapt to any unit
+  (``x + 1.0`` is fine whatever ``x``'s unit is);
+* ``obj`` — opaque object type (``"BitStatistics"``, …) for the library's
+  dataclasses, with members resolved through the signature registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.analysis.shapes import Shape, join_shapes
+
+__all__ = [
+    "UNKNOWN",
+    "AbstractValue",
+    "UNIT_NAMES",
+    "div_units",
+    "format_unit",
+    "join_values",
+    "mul_units",
+    "parse_unit",
+    "pow_units",
+    "scalar_literal",
+]
+
+#: SI dimension vector: exponents of (kg, m, s, A).
+Unit = Tuple[int, int, int, int]
+
+DIMENSIONLESS: Unit = (0, 0, 0, 0)
+
+#: Every unit the spec mini-language accepts.
+UNIT_NAMES = {
+    "dimensionless": DIMENSIONLESS,
+    "bit": DIMENSIONLESS,
+    "probability": DIMENSIONLESS,
+    "farad": (-1, -2, 4, 2),
+    "volt": (1, 2, -3, -1),
+    "joule": (1, 2, -2, 0),
+    "watt": (1, 2, -3, 0),
+    "second": (0, 0, 1, 0),
+    "hertz": (0, 0, -1, 0),
+    "meter": (0, 1, 0, 0),
+    "ohm": (1, 2, -3, -2),
+    "henry": (1, 2, -2, -2),
+    "ampere": (0, 0, 0, 1),
+    "coulomb": (0, 0, 1, 1),
+}
+
+_CANONICAL = {
+    vec: name
+    for name, vec in reversed(list(UNIT_NAMES.items()))
+    if name not in ("bit", "probability")
+}
+
+
+def parse_unit(name: str) -> Unit:
+    try:
+        return UNIT_NAMES[name]
+    except KeyError:
+        raise ValueError(f"unknown unit {name!r}") from None
+
+
+def format_unit(unit: Optional[Unit]) -> str:
+    if unit is None:
+        return "?"
+    if unit in _CANONICAL:
+        return _CANONICAL[unit]
+    bases = ("kg", "m", "s", "A")
+    parts = [f"{b}^{e}" for b, e in zip(bases, unit) if e]
+    return "·".join(parts) if parts else "dimensionless"
+
+
+def mul_units(a: Optional[Unit], b: Optional[Unit]) -> Optional[Unit]:
+    if a is None or b is None:
+        return None
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3])
+
+
+def div_units(a: Optional[Unit], b: Optional[Unit]) -> Optional[Unit]:
+    if a is None or b is None:
+        return None
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3])
+
+
+def pow_units(a: Optional[Unit], k: int) -> Optional[Unit]:
+    if a is None:
+        return None
+    return (a[0] * k, a[1] * k, a[2] * k, a[3] * k)
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """Everything the flow pass knows about one expression's value."""
+
+    shape: Optional[Shape] = None
+    unit: Optional[Unit] = None
+    form: Optional[str] = None
+    prob: Optional[bool] = None
+    rng: Optional[Tuple[float, float]] = None
+    lit: bool = False
+    obj: Optional[str] = None
+
+    def but(self, **changes) -> "AbstractValue":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def is_unknown(self) -> bool:
+        return self == UNKNOWN
+
+    def describe(self) -> str:
+        """Short human-readable type for finding messages."""
+        from repro.analysis.shapes import format_shape
+
+        if self.obj is not None:
+            return self.obj
+        parts = []
+        if self.shape is not None:
+            parts.append(format_shape(self.shape))
+        if self.unit is not None:
+            parts.append("probability" if self.prob else format_unit(self.unit))
+        if self.form is not None:
+            parts.append(f"{self.form}-form")
+        if not parts and self.rng is not None:
+            parts.append(f"value in [{self.rng[0]:g}, {self.rng[1]:g}]")
+        return " ".join(parts) if parts else "unknown"
+
+
+UNKNOWN = AbstractValue()
+
+
+def scalar_literal(value: float) -> AbstractValue:
+    """Abstract value of a numeric literal: unitless, exactly bounded."""
+    v = float(value)
+    return AbstractValue(
+        shape=(), unit=DIMENSIONLESS, rng=(v, v), lit=True,
+        prob=True if 0.0 <= v <= 1.0 else None,
+    )
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound of two facts (if/else merge, multiple returns)."""
+    if a == b:
+        return a
+    if a.obj is not None or b.obj is not None:
+        return UNKNOWN if a.obj != b.obj else AbstractValue(obj=a.obj)
+    rng = None
+    if a.rng is not None and b.rng is not None:
+        rng = (min(a.rng[0], b.rng[0]), max(a.rng[1], b.rng[1]))
+    return AbstractValue(
+        shape=join_shapes(a.shape, b.shape),
+        unit=a.unit if a.unit == b.unit else None,
+        form=a.form if a.form == b.form else None,
+        prob=a.prob if a.prob == b.prob else None,
+        rng=rng,
+        lit=a.lit and b.lit,
+    )

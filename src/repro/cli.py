@@ -19,7 +19,9 @@ Subcommands
 ``lint``
     Run the repo-specific static linter (rules ``REP001`` .. ``REP005``,
     see ``docs/static_analysis.md``) over files or directories; exits
-    non-zero when findings remain, so CI can gate on it.
+    non-zero when findings remain, so CI can gate on it. ``--deep`` adds
+    the interprocedural shape/unit inference pass (``REP101`` ..
+    ``REP104``), and ``--format sarif|github`` emits CI-native output.
 """
 
 from __future__ import annotations
@@ -181,7 +183,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import run_lint
 
-    return run_lint(args.paths, output_format=args.format)
+    return run_lint(args.paths, output_format=args.format, deep=args.deep)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,14 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.set_defaults(func=cmd_figure)
 
     p_lint = sub.add_parser(
-        "lint", help="run the repo-specific static linter (REP001..REP005)"
+        "lint",
+        help="run the repo-specific static linter "
+             "(REP001..REP005; --deep adds REP101..REP104)",
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)",
     )
     p_lint.add_argument("--format", default="text",
-                        choices=("text", "json"))
+                        choices=("text", "json", "sarif", "github"))
+    p_lint.add_argument(
+        "--deep", action="store_true",
+        help="also run the interprocedural shape/unit inference pass",
+    )
     p_lint.set_defaults(func=cmd_lint)
     return parser
 

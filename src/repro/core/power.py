@@ -126,3 +126,37 @@ class PowerModel:
     ) -> float:
         """Denormalized mean power ``P = P_n Vdd^2 f / 2`` [W]."""
         return self.power(assignment) * vdd**2 * frequency / 2.0
+
+
+#: Shape/unit signatures for the deep-lint flow pass (see
+#: ``docs/static_analysis.md``). Normalized power ``P_n = <T, C>`` carries
+#: farads; ``power_watts`` denormalizes to watts via ``C V^2 f``.
+REPRO_SIGNATURES = {
+    "normalized_power": {
+        "stats": "BitStatistics",
+        "cap_matrix": "(N, N) farad spice",
+        "return": "scalar farad",
+    },
+    "PowerModel": {
+        "stats": "BitStatistics",
+        "capacitance": "(N, N) farad spice | LinearCapacitanceModel",
+    },
+    "PowerModel.line_capacitance": {
+        "line_stats": "BitStatistics",
+        "return": "(N, N) farad spice",
+    },
+    "PowerModel.power": {
+        "assignment": "SignedPermutation",
+        "return": "scalar farad",
+    },
+    "PowerModel.power_watts": {
+        "assignment": "SignedPermutation",
+        "vdd": "scalar volt",
+        "frequency": "scalar hertz",
+        "return": "scalar watt",
+    },
+    "PowerModel.stats": "BitStatistics",
+    "PowerModel.cap_model": "LinearCapacitanceModel",
+    "PowerModel.cap_matrix": "(N, N) farad spice",
+    "PowerModel.n_lines": "scalar dimensionless",
+}

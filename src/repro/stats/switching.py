@@ -155,3 +155,36 @@ class BitStatistics:
         )
         if (np.abs(self.t_c) > bound + atol).any():
             raise ValueError("coupling statistic violates Cauchy-Schwarz bound")
+
+
+#: Shape/unit signatures for the deep-lint flow pass (see
+#: ``docs/static_analysis.md``). ``N`` = lines/TSVs, ``T`` = stream samples.
+REPRO_SIGNATURES = {
+    "validate_bit_stream": {"stream": "(T, N) bit", "return": "(T, N) bit"},
+    "BitStatistics": {
+        "self_switching": "(N,) probability",
+        "coupling": "(N, N) dimensionless",
+        "probabilities": "(N,) probability",
+        "n_samples": "scalar dimensionless",
+    },
+    "BitStatistics.from_stream": {
+        "stream": "(T, N) bit",
+        "return": "BitStatistics",
+    },
+    "BitStatistics.from_moments": {
+        "self_switching": "(N,) probability",
+        "coupling": "(N, N) dimensionless",
+        "probabilities": "(N,) probability",
+        "return": "BitStatistics",
+    },
+    "BitStatistics.check_consistency": {"atol": "scalar dimensionless"},
+    "BitStatistics.self_switching": "(N,) probability",
+    "BitStatistics.coupling": "(N, N) dimensionless",
+    "BitStatistics.probabilities": "(N,) probability",
+    "BitStatistics.n_samples": "scalar dimensionless",
+    "BitStatistics.n_lines": "scalar dimensionless",
+    "BitStatistics.t_s": "(N, N) dimensionless",
+    "BitStatistics.t_c": "(N, N) dimensionless",
+    "BitStatistics.t_matrix": "(N, N) dimensionless",
+    "BitStatistics.epsilon": "(N,) dimensionless",
+}

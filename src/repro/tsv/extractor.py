@@ -188,3 +188,20 @@ class CapacitanceExtractor:
                 self.geometry, parameters=self.parameters
             )
         return self._compact_model.capacitance_matrix(probabilities)
+
+
+#: Shape/unit signatures for the deep-lint flow pass (see
+#: ``docs/static_analysis.md``).
+REPRO_SIGNATURES = {
+    "CapacitanceExtractor": {
+        "geometry": "TSVArrayGeometry",
+        "method": "any",
+        "frequency": "scalar hertz",
+    },
+    "CapacitanceExtractor.extract": {
+        "probabilities": "(N,) probability",
+        "return": "(N, N) farad spice",
+    },
+    "CapacitanceExtractor.geometry": "TSVArrayGeometry",
+    "CapacitanceExtractor.frequency": "scalar hertz",
+}

@@ -1,0 +1,15 @@
+"""Deep-lint fixture: REP101 — stream matrix used where line-pair fits.
+
+``t_matrix`` is the ``(N, N)`` switching-cost matrix; a raw bit stream is
+``(T, N)``. Contracting them over the inner axis mixes the sample axis
+with the line axis, which the flow pass proves impossible (``N`` and ``T``
+are rigidly distinct symbols).
+"""
+
+from repro.stats.switching import BitStatistics, validate_bit_stream
+
+
+def coupling_against_stream(stream):
+    stats = BitStatistics.from_stream(stream)
+    bits = validate_bit_stream(stream)
+    return stats.t_matrix @ bits  # expect: REP101

@@ -1,0 +1,14 @@
+"""Deep-lint fixture: REP102 — Maxwell-form matrix fed to a SPICE consumer.
+
+``spice_to_maxwell`` returns the field-solver convention (negative
+off-diagonals); ``total_capacitance`` requires the SPICE convention. The
+values are plausible numbers of the right shape and unit — only the form
+tag catches the bug.
+"""
+
+from repro.tsv.matrices import spice_to_maxwell, total_capacitance
+
+
+def totals_from_maxwell(c_spice):
+    c_maxwell = spice_to_maxwell(c_spice)
+    return total_capacitance(c_maxwell)  # expect: REP102

@@ -1,0 +1,15 @@
+"""Deep-lint fixture: REP103 — adding normalized power [F] to power [W].
+
+``PowerModel.power`` returns the *normalized* power ``P_n = <T, C>``,
+which is a capacitance (farads); ``power_watts`` denormalizes to watts.
+Summing the two is the classic mixed-normalization bug.
+"""
+
+from repro.core.power import PowerModel
+
+
+def mixed_power_sum(stats, capacitance, assignment):
+    model = PowerModel(stats, capacitance)
+    p_normalized = model.power(assignment)
+    p_watts = model.power_watts(assignment)
+    return p_normalized + p_watts  # expect: REP103

@@ -1,0 +1,18 @@
+"""Deep-lint fixture: REP104 — probability expressions escaping [0, 1].
+
+Eq. 8/9 of the paper require true probabilities. Summing two probability
+vectors ranges over [0, 2]; a literal above 1 is no probability at all.
+"""
+
+from repro.stats.switching import BitStatistics
+from repro.tsv.capmodel import epsilon_from_probabilities
+
+
+def doubled_probabilities(stream):
+    stats = BitStatistics.from_stream(stream)
+    doubled = stats.probabilities + stats.probabilities
+    return epsilon_from_probabilities(doubled)  # expect: REP104
+
+
+def literal_probabilities():
+    return epsilon_from_probabilities([0.4, 1.5])  # expect: REP104

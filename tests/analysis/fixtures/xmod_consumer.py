@@ -1,0 +1,17 @@
+"""Deep-lint fixture: REP102 across a module boundary.
+
+The bad value (a Maxwell-form matrix) is constructed in
+:mod:`xmod_producer` — whose return type is inferred, not annotated — and
+only consumed here, so the finding requires interprocedural propagation.
+"""
+
+from xmod_producer import field_solver_matrix
+
+from repro.core.power import normalized_power
+from repro.stats.switching import BitStatistics
+
+
+def cross_module_power(stream, c_spice):
+    stats = BitStatistics.from_stream(stream)
+    c = field_solver_matrix(c_spice)
+    return normalized_power(stats, c)  # expect: REP102

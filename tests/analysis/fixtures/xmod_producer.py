@@ -1,0 +1,12 @@
+"""Deep-lint fixture (clean): produces a Maxwell-form matrix.
+
+No ``REPRO_SIGNATURES`` annotation here — the flow pass must *infer* the
+return form from the body so :mod:`xmod_consumer` can be flagged across
+the module boundary.
+"""
+
+from repro.tsv.matrices import spice_to_maxwell
+
+
+def field_solver_matrix(c_spice):
+    return spice_to_maxwell(c_spice)

@@ -45,8 +45,8 @@ class TestDriverModel:
         assert wave(0.0) == 0.0
         assert wave(99e-12) == 0.0
         assert 0.0 < wave(105e-12) < 1.0
-        assert wave(150e-12) == 1.0
-        assert wave(1e-9) == 1.0  # past the stream: hold last level
+        assert wave(150e-12) == 1.0  # repro: noqa[REP004] exact hold level
+        assert wave(1e-9) == 1.0  # repro: noqa[REP004] past the stream: hold last level
 
     def test_waveform_rejects_short_cycle(self):
         drv = DriverModel(rise_time=10e-12)

@@ -32,7 +32,7 @@ class TestPermutationMoments:
 
     def test_degenerate_single_element(self):
         mean, var = permutation_statistic_moments(np.array([[3.0]]))
-        assert mean == 3.0 and var == 0.0
+        assert mean == 3.0 and var == 0.0  # repro: noqa[REP004] degenerate exact moments
 
     def test_rejects_non_square(self):
         with pytest.raises(ValueError):

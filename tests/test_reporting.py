@@ -30,7 +30,7 @@ class TestRows:
     def test_records(self, rows):
         records = rows_to_records(rows)
         assert records[0] == {"label": "alpha", "optimal": 0.25, "spiral": 0.1}
-        assert records[1]["extra"] == 1.0
+        assert records[1]["extra"] == 1.0  # repro: noqa[REP004] exact round-trip
 
     def test_json_roundtrip(self, rows):
         parsed = json.loads(rows_to_json(rows))

@@ -111,6 +111,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             bits, geometry, method=method.strip(),
             cap_method=args.cap_method,
             rng=np.random.default_rng(args.seed),
+            n_restarts=args.restarts, n_jobs=args.jobs,
         )
         if best_report is None or report.power < best_report.power:
             best_report = report
@@ -219,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_optimize.add_argument("--seed", type=int, default=2018)
     p_optimize.add_argument("--methods",
                             default="optimal,spiral,sawtooth,identity")
+    p_optimize.add_argument("--restarts", type=int, default=1,
+                            help="independent annealing chains (best wins)")
+    p_optimize.add_argument("--jobs", type=int, default=1,
+                            help="worker threads for --restarts > 1")
     p_optimize.add_argument("--show-assignment", action="store_true")
     p_optimize.add_argument("--save-assignment", default=None,
                             help="write the best assignment as JSON")

@@ -10,13 +10,17 @@
     The Spiral and Sawtooth mappings of Sec. 4 (Fig. 1) plus the generic
     greedy rules they derive from.
 ``optimize``
-    Search for the power-optimal assignment (Eq. 10): simulated annealing,
-    exhaustive oracle, greedy descent.
+    Search for the power-optimal assignment (Eq. 10): simulated annealing
+    (optionally multi-chain), exhaustive oracle, greedy descent.
+``fastpower``
+    Compiled search kernels: O(n) delta-cost move evaluation and batched
+    candidate scoring behind the searches (see ``docs/performance.md``).
 ``pipeline``
     One-call user API tying streams, extraction and optimization together.
 """
 
 from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.fastpower import CompiledPowerModel
 from repro.core.power import PowerModel
 from repro.core.pipeline import (
     AssignmentReport,
@@ -30,6 +34,7 @@ __all__ = [
     "AssignmentConstraints",
     "SignedPermutation",
     "PowerModel",
+    "CompiledPowerModel",
     "AssignmentReport",
     "evaluate_assignment",
     "optimize_assignment",

@@ -13,16 +13,25 @@ It wires together statistics estimation, capacitance extraction (with the
 Eq. 6/7 linear probability model so inversions see the MOS effect), the
 power model and the chosen search or systematic mapping, and reports the
 reduction against the paper's random-assignment baseline.
+
+Reproducibility contract: the caller's ``rng`` (or the default seed) is
+split with ``Generator.spawn`` into one stream for the search and an
+*independent* stream for the random baseline, so ``random_mean_power`` and
+``random_worst_power`` depend only on the seed and the baseline sample
+count — never on which ``method`` ran, whether inversions were enabled, or
+how many draws the search consumed. Searches and baselines run on the
+compiled delta-cost/batched kernels of :mod:`repro.core.fastpower`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.fastpower import CompiledPowerModel
 from repro.core.optimize import (
     exhaustive_search,
     greedy_descent,
@@ -34,6 +43,7 @@ from repro.core.systematic import (
     sawtooth_assignment,
     spiral_assignment_for_stats,
 )
+from repro.rng import ensure_rng
 from repro.stats.switching import BitStatistics
 from repro.tsv.capmodel import LinearCapacitanceModel
 from repro.tsv.extractor import CapacitanceExtractor
@@ -68,12 +78,21 @@ class AssignmentReport:
 
     @property
     def reduction_vs_random(self) -> float:
-        """``P_red = 1 - P / P_random-mean`` — the paper's reported metric."""
+        """``P_red = 1 - P / P_random-mean`` — the paper's reported metric.
+
+        A zero-switching stream has a zero baseline; the reduction is then
+        0.0 by definition (there is nothing to reduce), not a division
+        error.
+        """
+        if self.random_mean_power == 0.0:
+            return 0.0
         return 1.0 - self.power / self.random_mean_power
 
     @property
     def reduction_vs_worst(self) -> float:
         """Reduction against the worst sampled random assignment (Fig. 2)."""
+        if self.random_worst_power == 0.0:
+            return 0.0
         return 1.0 - self.power / self.random_worst_power
 
 
@@ -112,7 +131,7 @@ def build_power_model(
 
 
 def random_baseline_power(
-    model: PowerModel,
+    model: Union[PowerModel, CompiledPowerModel],
     n_samples: int = 200,
     rng: Optional[np.random.Generator] = None,
     constraints: AssignmentConstraints = AssignmentConstraints(),
@@ -120,25 +139,29 @@ def random_baseline_power(
     """Mean and worst normalized power over random assignments.
 
     Random assignments never invert (a designer wiring bits arbitrarily
-    uses plain buffers) but do honour pinned lines.
+    uses plain buffers) but do honour pinned lines. The samples are
+    evaluated in one batched pass over the compiled kernels.
     """
-    if rng is None:
-        rng = np.random.default_rng(2018)
-    n = model.n_lines
+    rng = ensure_rng(rng)
+    compiled = (
+        model if isinstance(model, CompiledPowerModel)
+        else CompiledPowerModel.compile(model)
+    )
+    n = compiled.n_lines
     constraints.validate_for(n)
     free = list(constraints.free_bits(n))
     base = _constrained_identity(n, constraints)
     pinned_lines = {base.line_of_bit[b] for b in constraints.pinned}
     free_lines = [ln for ln in range(n) if ln not in pinned_lines]
 
-    powers = np.empty(n_samples)
-    for k in range(n_samples):
+    samples: List[SignedPermutation] = []
+    for _ in range(n_samples):
         shuffled = rng.permutation(free_lines)
         line_of_bit = list(base.line_of_bit)
         for bit, line in zip(free, shuffled):
             line_of_bit[bit] = int(line)
-        assignment = SignedPermutation.from_sequence(line_of_bit)
-        powers[k] = model.power(assignment)
+        samples.append(SignedPermutation.from_sequence(line_of_bit))
+    powers = compiled.powers(samples)
     return float(powers.mean()), float(powers.max())
 
 
@@ -153,12 +176,15 @@ def optimize_assignment(
     baseline_samples: int = 200,
     rng: Optional[np.random.Generator] = None,
     extractor: Optional[CapacitanceExtractor] = None,
+    n_restarts: int = 1,
+    n_jobs: int = 1,
 ) -> AssignmentReport:
     """Find (or construct) an assignment and report its power reduction.
 
     ``method`` is one of:
 
-    * ``"optimal"`` — simulated annealing on Eq. 10 (the paper's approach);
+    * ``"optimal"`` — simulated annealing on Eq. 10 (the paper's approach;
+      ``n_restarts``/``n_jobs`` run parallel independent chains);
     * ``"exhaustive"`` — exact enumeration (small arrays only);
     * ``"greedy"`` — deterministic hill climbing;
     * ``"spiral"`` / ``"sawtooth"`` — the systematic mappings of Sec. 4;
@@ -166,25 +192,28 @@ def optimize_assignment(
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-    if rng is None:
-        rng = np.random.default_rng(2018)
+    rng = ensure_rng(rng)
+    search_rng, baseline_rng = rng.spawn(2)
     model = build_power_model(
         source, geometry, cap_method=cap_method, mos_aware=mos_aware,
         extractor=extractor,
     )
+    compiled = CompiledPowerModel.compile(model)
 
     if method == "optimal":
         result = simulated_annealing(
-            model.power,
+            compiled,
             model.n_lines,
             with_inversions=with_inversions,
             constraints=constraints,
-            rng=rng,
+            rng=search_rng,
+            n_restarts=n_restarts,
+            n_jobs=n_jobs,
         )
         assignment = result.assignment
     elif method == "exhaustive":
         result = exhaustive_search(
-            model.power,
+            compiled,
             model.n_lines,
             with_inversions=with_inversions,
             constraints=constraints,
@@ -193,7 +222,7 @@ def optimize_assignment(
     elif method == "greedy":
         start = _constrained_identity(model.n_lines, constraints)
         result = greedy_descent(
-            model.power,
+            compiled,
             start,
             with_inversions=with_inversions,
             constraints=constraints,
@@ -207,11 +236,12 @@ def optimize_assignment(
         assignment = SignedPermutation.identity(model.n_lines)
 
     mean_power, worst_power = random_baseline_power(
-        model, n_samples=baseline_samples, rng=rng, constraints=constraints
+        compiled, n_samples=baseline_samples, rng=baseline_rng,
+        constraints=constraints,
     )
     return AssignmentReport(
         assignment=assignment,
-        power=model.power(assignment),
+        power=compiled.power(assignment),
         random_mean_power=mean_power,
         random_worst_power=worst_power,
         method=method,
@@ -224,21 +254,36 @@ def evaluate_assignment(
     geometry: TSVArrayGeometry,
     cap_method: str = "fdm",
     mos_aware: bool = True,
+    constraints: AssignmentConstraints = AssignmentConstraints(),
     baseline_samples: int = 200,
     rng: Optional[np.random.Generator] = None,
     extractor: Optional[CapacitanceExtractor] = None,
 ) -> AssignmentReport:
-    """Report the power of a user-supplied assignment (no search)."""
+    """Report the power of a user-supplied assignment (no search).
+
+    ``constraints`` are validated against the supplied assignment and
+    forwarded to the random baseline, so a pinned/non-inverting design is
+    compared against a baseline drawn from the same restricted space. The
+    RNG is split exactly as in :func:`optimize_assignment`, so both report
+    identical baselines for the same seed.
+    """
     model = build_power_model(
         source, geometry, cap_method=cap_method, mos_aware=mos_aware,
         extractor=extractor,
     )
+    constraints.validate_for(model.n_lines)
+    if not constraints.allows(assignment):
+        raise ValueError("supplied assignment violates the constraints")
+    compiled = CompiledPowerModel.compile(model)
+    rng = ensure_rng(rng)
+    _search_rng, baseline_rng = rng.spawn(2)
     mean_power, worst_power = random_baseline_power(
-        model, n_samples=baseline_samples, rng=rng
+        compiled, n_samples=baseline_samples, rng=baseline_rng,
+        constraints=constraints,
     )
     return AssignmentReport(
         assignment=assignment,
-        power=model.power(assignment),
+        power=compiled.power(assignment),
         random_mean_power=mean_power,
         random_worst_power=worst_power,
         method="user",

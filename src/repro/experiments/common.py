@@ -11,6 +11,7 @@ from repro import constants
 from repro.circuit.driver import DriverModel
 from repro.circuit.energy import EnergyModel
 from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.fastpower import CompiledPowerModel
 from repro.core.optimize import simulated_annealing
 from repro.core.power import PowerModel
 from repro.core.systematic import sawtooth_assignment, spiral_assignment_for_stats
@@ -128,24 +129,28 @@ def study_assignments(
     """Evaluate the requested assignment strategies on one stream.
 
     Returns the normalized powers plus the random-assignment baselines; a
-    shared capacitance model keeps repeated calls cheap.
+    shared capacitance model keeps repeated calls cheap. All evaluations
+    run on the compiled fast-path kernels, and the search and baseline use
+    independent spawned RNG streams so the baselines depend only on the
+    seed, not on which methods ran.
     """
     if mos_aware:
         capacitance = cap_model_for(geometry, cap_method)
         model = PowerModel(stats, capacitance)
     else:
         model = PowerModel(stats, extractor_for(geometry, cap_method).extract())
-    rng = np.random.default_rng(seed)
+    compiled = CompiledPowerModel.compile(model)
+    search_rng, baseline_rng = np.random.default_rng(seed).spawn(2)
 
     powers: Dict[str, float] = {}
     for method in methods:
         if method == "optimal":
             result = simulated_annealing(
-                model.power,
+                compiled,
                 model.n_lines,
                 with_inversions=with_inversions,
                 constraints=constraints,
-                rng=rng,
+                rng=search_rng,
                 steps_per_temperature=sa_steps,
             )
             powers[method] = result.power
@@ -154,16 +159,17 @@ def study_assignments(
                 geometry, stats,
                 cap_matrix=extractor_for(geometry, cap_method).extract(),
             )
-            powers[method] = model.power(assignment)
+            powers[method] = compiled.power(assignment)
         elif method == "sawtooth":
             assignment = sawtooth_assignment(geometry)
-            powers[method] = model.power(assignment)
+            powers[method] = compiled.power(assignment)
         elif method == "identity":
-            powers[method] = model.power()
+            powers[method] = compiled.power()
         else:
             raise ValueError(f"unknown study method {method!r}")
     mean, worst = random_baseline_power(
-        model, n_samples=baseline_samples, rng=rng, constraints=constraints
+        compiled, n_samples=baseline_samples, rng=baseline_rng,
+        constraints=constraints,
     )
     return AssignmentStudy(powers=powers, random_mean=mean, random_worst=worst)
 
@@ -180,7 +186,7 @@ def optimize_for_stream(
     """The Eq. 10 optimal assignment for one stream (MOS-aware)."""
     model = PowerModel(stats, cap_model_for(geometry, cap_method))
     result = simulated_annealing(
-        model.power,
+        model,
         model.n_lines,
         with_inversions=with_inversions,
         constraints=constraints,

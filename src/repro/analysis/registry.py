@@ -54,6 +54,9 @@ ANNOTATED_MODULES = (
     "repro.tsv.extractor",
     "repro.circuit.mna",
     "repro.datagen.gaussian",
+    "repro.runtime.artifacts",
+    "repro.runtime.faults",
+    "repro.runtime.supervision",
 )
 
 SpecDict = Mapping[str, str]

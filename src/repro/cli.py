@@ -89,12 +89,65 @@ def cmd_depletion(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_stream(path: str, n_lines: int) -> np.ndarray:
+    """Load and validate a ``--stream`` file; exit 2 with a one-line error.
+
+    Accepts a plain ``.npy`` array of shape ``(samples, n_lines)`` whose
+    values are 0/1. Pickled arrays and ``.npz`` archives are rejected
+    explicitly (a bit stream never needs Python object serialization).
+    """
+    import os
+
+    def fail(message: str) -> "SystemExit":
+        print(f"error: --stream {path}: {message}", file=sys.stderr)
+        return SystemExit(2)
+
+    if not os.path.exists(path):
+        raise fail("file not found")
+    # Sniff the magic bytes so each bad format gets an accurate message:
+    # np.load reports anything without the .npy magic as a pickle error.
+    try:
+        with open(path, "rb") as handle:
+            magic = handle.read(6)
+    except OSError as exc:
+        raise fail(f"not a readable .npy file ({exc})") from exc
+    if magic.startswith(b"PK"):
+        raise fail(".npz archives are not accepted; pass a single .npy array")
+    if not magic.startswith(b"\x93NUMPY"):
+        raise fail("not a readable .npy file (missing .npy magic header)")
+    try:
+        bits = np.load(path, allow_pickle=False)
+    except ValueError as exc:
+        if "pickle" in str(exc).lower():
+            raise fail(
+                "pickled arrays are not accepted; save with "
+                "np.save(path, bits.astype(np.uint8))"
+            ) from exc
+        raise fail(f"not a readable .npy file ({exc})") from exc
+    except OSError as exc:
+        raise fail(f"not a readable .npy file ({exc})") from exc
+    if bits.ndim != 2:
+        raise fail(f"need shape (samples, lines), got shape {bits.shape}")
+    if bits.shape[1] != n_lines:
+        raise fail(
+            f"stream has {bits.shape[1]} lines but the "
+            f"--rows x --cols array has {n_lines} TSVs"
+        )
+    if bits.size == 0:
+        raise fail("stream is empty")
+    if not np.issubdtype(bits.dtype, np.number) and bits.dtype != np.bool_:
+        raise fail(f"need a numeric/boolean dtype, got {bits.dtype}")
+    if not np.isin(bits, (0, 1)).all():
+        raise fail("stream values must all be 0 or 1")
+    return bits.astype(np.uint8)
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.core.pipeline import optimize_assignment
 
     geometry = _geometry(args)
     if args.stream is not None:
-        bits = np.load(args.stream)
+        bits = _load_stream(args.stream, geometry.n_tsvs)
     else:
         from repro.datagen.gaussian import gaussian_bit_stream
 
@@ -112,11 +165,16 @@ def cmd_optimize(args: argparse.Namespace) -> int:
             cap_method=args.cap_method,
             rng=np.random.default_rng(args.seed),
             n_restarts=args.restarts, n_jobs=args.jobs,
+            deadline_s=args.deadline,
+            checkpoint_dir=args.checkpoint_dir,
+            resume_from=args.resume,
         )
         if best_report is None or report.power < best_report.power:
             best_report = report
+        note = "" if report.completed else "   (stopped early, best-so-far)"
         print(f"{method.strip():10s}: P_n = {report.power * 1e15:8.3f} fF   "
-              f"reduction vs random = {report.reduction_vs_random * 100:6.2f} %")
+              f"reduction vs random = {report.reduction_vs_random * 100:6.2f} %"
+              f"{note}")
         if args.show_assignment:
             print(f"  line_of_bit = {report.assignment.line_of_bit}")
             print(f"  inverted    = {report.assignment.inverted}")
@@ -147,13 +205,21 @@ def cmd_figure(args: argparse.Namespace) -> int:
         "routing": routing_overhead, "ablations": ablations,
         "related": related_work, "noc": noc_case_study,
     }
+    resumable = {"fig2", "fig3", "fig4", "fig5", "fig6", "noc"}
+    checkpoint_dir = args.resume or args.checkpoint_dir
+
+    def sweep_kwargs(name: str) -> dict:
+        if checkpoint_dir is None or name not in resumable:
+            return {}
+        return {"checkpoint_dir": checkpoint_dir}
+
     if args.name == "all":
         names = list(modules)
     else:
         names = [args.name]
     if args.format == "table":
         for name in names:
-            modules[name].main(fast=args.fast)
+            modules[name].main(fast=args.fast, **sweep_kwargs(name))
             print()
         return 0
 
@@ -166,7 +232,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"{name} has no machine-readable row output; use --format table"
             )
-        rows = module.run(fast=args.fast)
+        rows = module.run(fast=args.fast, **sweep_kwargs(name))
         if args.format == "csv":
             chunks.append(f"# {name}\n" + rows_to_csv(rows))
         else:
@@ -224,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="independent annealing chains (best wins)")
     p_optimize.add_argument("--jobs", type=int, default=1,
                             help="worker threads for --restarts > 1")
+    p_optimize.add_argument("--deadline", type=float, default=None,
+                            help="wall-clock budget [s]; returns best-so-far")
+    p_optimize.add_argument("--checkpoint-dir", default=None,
+                            help="write resumable search checkpoints here")
+    p_optimize.add_argument("--resume", default=None, metavar="DIR",
+                            help="resume the search from this checkpoint dir")
     p_optimize.add_argument("--show-assignment", action="store_true")
     p_optimize.add_argument("--save-assignment", default=None,
                             help="write the best assignment as JSON")
@@ -243,6 +315,10 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("table", "csv", "json"))
     p_figure.add_argument("--output", default=None,
                           help="write machine-readable output to a file")
+    p_figure.add_argument("--checkpoint-dir", default=None,
+                          help="write resumable sweep checkpoints here")
+    p_figure.add_argument("--resume", default=None, metavar="DIR",
+                          help="resume interrupted sweeps from this dir")
     p_figure.set_defaults(func=cmd_figure)
 
     p_lint = sub.add_parser(
@@ -267,7 +343,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Long computations convert SIGINT into best-so-far returns and
+        # resumable checkpoints themselves; anything that still escapes
+        # exits with the conventional interrupt status.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

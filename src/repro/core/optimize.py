@@ -37,10 +37,11 @@ asserts.
 from __future__ import annotations
 
 import itertools
+import logging
 import math
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +49,16 @@ from repro.core.assignment import AssignmentConstraints, SignedPermutation
 from repro.core.fastpower import CompiledPowerModel, SearchState, as_compiled
 from repro.core.power import PowerModel
 from repro.rng import ensure_rng
+from repro.runtime.artifacts import (
+    CheckpointError,
+    CheckpointStore,
+    encode_rng_state,
+    restore_rng_state,
+)
+from repro.runtime.faults import fault_point
+from repro.runtime.supervision import ChainSupervisor, Deadline, RunControl
+
+logger = logging.getLogger("repro.core.optimize")
 
 CostFunction = Callable[[SignedPermutation], float]
 
@@ -85,11 +96,34 @@ _PLATEAU_REL_TOL = 1e-12
 
 @dataclass(frozen=True)
 class SearchResult:
-    """Outcome of an assignment search."""
+    """Outcome of an assignment search.
+
+    ``completed`` is False when the search returned early with its
+    best-so-far (wall-clock deadline expired, or a SIGINT/Ctrl-C was
+    converted into a clean return); ``n_failed_chains`` counts annealing
+    chains that produced no result even after their bounded retries (the
+    run *degraded* to the surviving chains instead of raising).
+    """
 
     assignment: SignedPermutation
     power: float
     evaluations: int
+    completed: bool = True
+    n_failed_chains: int = 0
+
+
+def _assignment_payload(assignment: SignedPermutation) -> Dict[str, Any]:
+    """Checkpoint-friendly description of an assignment."""
+    return {
+        "line_of_bit": list(assignment.line_of_bit),
+        "inverted": [bool(flag) for flag in assignment.inverted],
+    }
+
+
+def _assignment_from_payload(data: Dict[str, Any]) -> SignedPermutation:
+    return SignedPermutation.from_sequence(
+        data["line_of_bit"], data["inverted"]
+    )
 
 
 def _cost_callable(cost: SearchCost) -> CostFunction:
@@ -375,6 +409,11 @@ def simulated_annealing(
     polish: bool = True,
     n_restarts: int = 1,
     n_jobs: int = 1,
+    deadline_s: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 4,
+    resume_from: Optional[Union[str, Path]] = None,
+    max_chain_retries: int = 2,
 ) -> SearchResult:
     """Simulated annealing over signed permutations (the paper's choice).
 
@@ -391,16 +430,44 @@ def simulated_annealing(
     only the pricing differs (per proposal vs per window), so a fixed seed
     yields bit-identical best powers on both paths.
 
-    ``n_restarts > 1`` runs that many independent chains seeded from
-    ``rng.spawn`` (deterministic for a fixed generator state regardless of
-    scheduling) and returns the best result; ``n_jobs > 1`` runs the chains
-    on a thread pool — with a :class:`PowerModel` objective each chain owns
-    its search state and only shares the read-only compiled kernels, with a
-    generic callable the caller must ensure the callable is thread-safe.
+    ``n_restarts > 1`` runs that many independent chains seeded from the
+    parent generator's spawned seed sequences (deterministic for a fixed
+    generator state regardless of scheduling) and returns the best result;
+    ``n_jobs > 1`` runs the chains on a thread pool — with a
+    :class:`PowerModel` objective each chain owns its search state and only
+    shares the read-only compiled kernels, with a generic callable the
+    caller must ensure the callable is thread-safe.
+
+    Fault tolerance (see ``docs/robustness.md``):
+
+    * ``deadline_s`` — wall-clock budget; on expiry the search returns its
+      best-so-far with ``completed=False`` instead of raising.
+    * ``checkpoint_dir`` — each chain writes a versioned, checksummed
+      checkpoint every ``checkpoint_every`` temperature levels through
+      :class:`repro.runtime.CheckpointStore`; when the directory already
+      holds valid checkpoints of the same run configuration, the search
+      *resumes* from them, and the resumed run is bit-identical to an
+      uninterrupted one. ``resume_from`` is an alias that also sets the
+      checkpoint directory.
+    * crashed chains (``n_restarts > 1``) are retried up to
+      ``max_chain_retries`` times from a freshly rebuilt chain generator
+      (or their last checkpoint), so retries do not change the result;
+      chains that still fail are dropped with a warning and counted in
+      ``SearchResult.n_failed_chains``.
+    * a ``KeyboardInterrupt``/SIGINT is converted into a clean best-so-far
+      return (``completed=False``) with a final resumable checkpoint.
     """
     constraints.validate_for(n_bits)
     if n_restarts < 1:
-        raise ValueError("n_restarts must be >= 1")
+        raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if deadline_s is not None and deadline_s < 0:
+        raise ValueError(f"deadline_s must be >= 0, got {deadline_s}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if max_chain_retries < 0:
+        raise ValueError(f"max_chain_retries must be >= 0, got {max_chain_retries}")
     rng = ensure_rng(rng)
     if start is None:
         start = _constrained_identity(n_bits, constraints)
@@ -410,41 +477,82 @@ def simulated_annealing(
     invertible = constraints.invertible_bits(n_bits) if with_inversions else ()
     if len(free) < 2 and not invertible:
         return SearchResult(start, _cost_callable(cost)(start), 1)
+    if steps_per_temperature is None:
+        steps_per_temperature = 25 * n_bits
+
+    if resume_from is not None and checkpoint_dir is None:
+        checkpoint_dir = resume_from
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(
+            Path(checkpoint_dir),
+            kind="simulated-annealing",
+            fingerprint={
+                "n_bits": n_bits,
+                "with_inversions": with_inversions,
+                "pinned": constraints.pinned,
+                "no_invert": constraints.no_invert,
+                "start": _assignment_payload(start),
+                "initial_temperature": initial_temperature,
+                "cooling": cooling,
+                "steps_per_temperature": steps_per_temperature,
+                "min_temperature_ratio": min_temperature_ratio,
+                "n_restarts": n_restarts,
+            },
+        )
+    control = RunControl(
+        deadline=Deadline(deadline_s) if deadline_s is not None else None
+    )
 
     compiled = as_compiled(cost)
     if n_restarts == 1:
+        # The single chain consumes the caller's generator directly (so
+        # generator state keeps flowing); retries are a multi-chain
+        # feature — an injected crash propagates here.
         return _anneal_chain(
             cost, compiled, start, free, invertible, rng,
             initial_temperature, cooling, steps_per_temperature,
             min_temperature_ratio, polish, n_bits, with_inversions,
-            constraints,
+            constraints, control=control, store=store,
+            checkpoint_every=checkpoint_every,
         )
 
-    chain_rngs = rng.spawn(n_restarts)
+    supervisor = ChainSupervisor(
+        rng, n_restarts, n_jobs=n_jobs, max_retries=max_chain_retries,
+        control=control, name="annealing chain",
+    )
 
-    def run_chain(chain_rng: np.random.Generator) -> SearchResult:
+    def run_chain(
+        index: int,
+        chain_rng: np.random.Generator,
+        chain_control: RunControl,
+        attempt: int,
+    ) -> SearchResult:
         # Chains are polished once at the end, on the winner only.
         return _anneal_chain(
             cost, compiled, start, free, invertible, chain_rng,
             initial_temperature, cooling, steps_per_temperature,
             min_temperature_ratio, False, n_bits, with_inversions,
-            constraints,
+            constraints, control=chain_control, chain_id=index,
+            attempt=attempt, store=store, checkpoint_every=checkpoint_every,
         )
 
-    if n_jobs > 1:
-        with ThreadPoolExecutor(
-            max_workers=min(n_jobs, n_restarts)
-        ) as executor:
-            results: List[SearchResult] = list(
-                executor.map(run_chain, chain_rngs)
-            )
-    else:
-        results = [run_chain(chain_rng) for chain_rng in chain_rngs]
-
+    report = supervisor.run(run_chain)
+    results = report.results()
+    if not results:
+        raise RuntimeError(
+            f"all {n_restarts} annealing chains failed "
+            f"(last error: {report.outcomes[-1].error})"
+        )
     best = min(results, key=lambda result: result.power)
     evaluations = sum(result.evaluations for result in results)
+    completed = (
+        all(result.completed for result in results)
+        and not report.interrupted
+        and not control.should_stop()
+    )
     best_assignment, best_power = best.assignment, best.power
-    if polish:
+    if polish and completed:
         polished = greedy_descent(
             compiled if compiled is not None else cost,
             best_assignment,
@@ -454,7 +562,10 @@ def simulated_annealing(
         evaluations += polished.evaluations
         if polished.power < best_power:
             best_assignment, best_power = polished.assignment, polished.power
-    return SearchResult(best_assignment, best_power, evaluations)
+    return SearchResult(
+        best_assignment, best_power, evaluations,
+        completed=completed, n_failed_chains=report.n_failed,
+    )
 
 
 def _anneal_chain(
@@ -472,205 +583,331 @@ def _anneal_chain(
     n_bits: int,
     with_inversions: bool,
     constraints: AssignmentConstraints,
+    control: Optional[RunControl] = None,
+    chain_id: int = 0,
+    attempt: int = 0,
+    store: Optional[CheckpointStore] = None,
+    checkpoint_every: int = 4,
 ) -> SearchResult:
-    """One annealing chain; delta-evaluated when ``compiled`` is given."""
+    """One annealing chain; delta-evaluated when ``compiled`` is given.
+
+    When ``store`` is given the chain snapshots itself at temperature-level
+    boundaries *before* consuming that level's draws, so a resumed chain
+    restores the snapshot's RNG state and replays the exact draw sequence
+    of an uninterrupted run — the resume is bit-identical.
+    """
     if steps_per_temperature is None:
         steps_per_temperature = 25 * n_bits
+    chain_name = f"chain_{chain_id:02d}"
+    fault_point("chain_crash", chain=chain_id, attempt=attempt)
+
+    resumed: Optional[Dict[str, Any]] = None
+    if store is not None:
+        checkpoint = store.load(chain_name)
+        if checkpoint is not None:
+            if checkpoint.payload.get("phase") == "done":
+                payload = checkpoint.payload
+                logger.info("%s already finished; reusing result", chain_name)
+                return SearchResult(
+                    _assignment_from_payload(payload["best"]),
+                    float(payload["best_power"]),
+                    int(payload["evaluations"]),
+                    completed=True,
+                )
+            resumed = checkpoint.payload
+
+    level = 0
+    temperature = initial_temperature
+    if resumed is not None:
+        try:
+            current = _assignment_from_payload(resumed["current"])
+            best = _assignment_from_payload(resumed["best"])
+            best_power = float(resumed["best_power"])
+            current_power = float(resumed["current_power"])
+            evaluations = int(resumed["evaluations"])
+            initial_temperature = float(resumed["initial_temperature"])
+            temperature = float(resumed["temperature"])
+            level = int(resumed["level"])
+            restore_rng_state(rng, resumed["rng"])
+        except (CheckpointError, KeyError, TypeError, ValueError) as exc:
+            logger.warning(
+                "cannot resume %s from its checkpoint (%s); starting fresh",
+                chain_name, exc,
+            )
+            resumed = None
 
     state: Optional[SearchState] = None
-    if compiled is not None:
-        state = compiled.start(start)
-        current_power = state.power
-        scalar_cost: Optional[CostFunction] = None
-        current = start
-    else:
-        scalar_cost = _cost_callable(cost)
-        current = start
-        current_power = scalar_cost(current)
-    evaluations = 1
-    best = current
-    best_power = current_power
-
-    if initial_temperature is None:
-        # Warm-up random walk to scale the temperature to the cost surface.
-        samples = []
-        probe = current
-        for _ in range(max(20, 2 * n_bits)):
-            move = _propose_move(rng, free, invertible)
-            if state is not None:
-                if move[0] == "toggle":
-                    state.toggle(move[1])
-                else:
-                    state.swap(move[1], move[2])
-                value = state.power
-                probe = state.assignment()
-            else:
-                probe = _apply_move(probe, move)
-                value = scalar_cost(probe)
-            evaluations += 1
-            samples.append(value)
-            if value < best_power:
-                best, best_power = probe, value
-        spread = float(np.std(samples))
-        initial_temperature = spread if spread > 0.0 else abs(best_power) * 0.01
-        current, current_power = best, best_power
-        if state is not None:
-            # Restart the chain from the best warm-up sample.
-            state = compiled.start(best)
+    scalar_cost: Optional[CostFunction] = None
+    if resumed is not None:
+        logger.info("resuming %s at temperature level %d", chain_name, level)
+        if compiled is not None:
+            state = compiled.start(current)
+            # The fast path re-derives the state power from scratch after
+            # every applied move, so this matches the interrupted chain's
+            # running current_power bit for bit.
             current_power = state.power
-            best_power = current_power
+        else:
+            scalar_cost = _cost_callable(cost)
+    else:
+        if compiled is not None:
+            state = compiled.start(start)
+            current_power = state.power
+            current = start
+        else:
+            scalar_cost = _cost_callable(cost)
+            current = start
+            current_power = scalar_cost(current)
+        evaluations = 1
+        best = current
+        best_power = current_power
 
-    temperature = initial_temperature
-    floor = initial_temperature * min_temperature_ratio
+    interrupted = False
+    stopped = False
+    boundary: Optional[Dict[str, Any]] = None
     free_arr = np.asarray(free, dtype=np.intp)
     inv_arr = np.asarray(invertible, dtype=np.intp)
-    while temperature > floor and temperature > 0.0:
-        accepted = 0
-        # One draw call covers the whole temperature level; the inner loop
-        # slices it into pricing batches. Proposals are priced in batches
-        # against the *current* state: each batch runs one Metropolis
-        # accept test per proposal and commits the best accepted move (the
-        # batched-rejection chain). Both paths run this same chain — the
-        # fast path prices a batch in one vectorized kernel call, the
-        # naive path with one full evaluation per proposal — so for a
-        # fixed generator state they visit identical assignments.
-        use_toggle, toggle_bits, swap_a, swap_b, accept_u = _draw_proposals(
-            rng, steps_per_temperature, free_arr, inv_arr
-        )
-        # Metropolis acceptance u < exp(-delta/T) recast as
-        # delta <= -T*log(u): one comparison per proposal instead of an
-        # exp per batch (identical decisions; u is never exactly 1).
-        thresholds = -temperature * np.log(accept_u)
-        if state is not None:
-            # Partition the level's proposals by move type once; pricing
-            # rounds then address the partitions through sorted index
-            # ranges. The whole remaining level is priced in one kernel
-            # call per round — valid for every batch until a move commits
-            # (the state is unchanged up to that point), after which only
-            # the suffix is re-priced. Levels with few acceptances (the
-            # regime the cooled-down chain spends most of its time in)
-            # cost one or two kernel calls instead of one per batch.
-            tog_idx = np.flatnonzero(use_toggle)
-            sw_idx = np.flatnonzero(~use_toggle)
-            tog_bits_lvl = toggle_bits[tog_idx] if len(tog_idx) else None
-            sw_pairs_lvl = (
-                np.column_stack((swap_a[sw_idx], swap_b[sw_idx]))
-                if len(sw_idx) else None
-            )
-            offset = 0
-            # Pricing horizon in batches: when commits are frequent most
-            # of a long horizon would be re-priced anyway, so start at one
-            # batch and double while nothing commits (cold levels then
-            # need O(log) kernel calls), resetting after each commit.
-            horizon = 1
-            while offset < steps_per_temperature:
-                span = min(
-                    horizon * _PROPOSAL_BATCH,
-                    steps_per_temperature - offset,
+    try:
+        if resumed is None:
+            if initial_temperature is None:
+                # Warm-up random walk to scale the temperature to the
+                # cost surface.
+                samples = []
+                probe = current
+                for _ in range(max(20, 2 * n_bits)):
+                    move = _propose_move(rng, free, invertible)
+                    if state is not None:
+                        if move[0] == "toggle":
+                            state.toggle(move[1])
+                        else:
+                            state.swap(move[1], move[2])
+                        value = state.power
+                        probe = state.assignment()
+                    else:
+                        probe = _apply_move(probe, move)
+                        value = scalar_cost(probe)
+                    evaluations += 1
+                    samples.append(value)
+                    if value < best_power:
+                        best, best_power = probe, value
+                spread = float(np.std(samples))
+                initial_temperature = (
+                    spread if spread > 0.0 else abs(best_power) * 0.01
                 )
-                end = offset + span
-                t_lo, t_hi = np.searchsorted(tog_idx, (offset, end))
-                s_lo, s_hi = np.searchsorted(sw_idx, (offset, end))
-                deltas = np.empty(span)
-                if t_hi > t_lo:
-                    deltas[tog_idx[t_lo:t_hi] - offset] = (
-                        state.delta_toggles(tog_bits_lvl[t_lo:t_hi])
+                current, current_power = best, best_power
+                if state is not None:
+                    # Restart the chain from the best warm-up sample.
+                    state = compiled.start(best)
+                    current_power = state.power
+                    best_power = current_power
+            temperature = initial_temperature
+
+        floor = initial_temperature * min_temperature_ratio
+        while temperature > floor and temperature > 0.0:
+            if state is not None:
+                current = state.assignment()
+            # Boundary snapshot BEFORE this level's draws: a resume
+            # restores the generator here and replays the level whole.
+            boundary = {
+                "phase": "annealing",
+                "level": level,
+                "temperature": temperature,
+                "initial_temperature": initial_temperature,
+                "current": _assignment_payload(current),
+                "current_power": current_power,
+                "best": _assignment_payload(best),
+                "best_power": best_power,
+                "evaluations": evaluations,
+                "rng": encode_rng_state(rng),
+            }
+            if store is not None and level % checkpoint_every == 0:
+                store.save(chain_name, boundary, step=level)
+            fault_point("interrupt_at", chain=chain_id, level=level)
+            if control is not None and control.should_stop():
+                stopped = True
+                break
+            accepted = 0
+            # One draw call covers the whole temperature level; the inner
+            # loop slices it into pricing batches. Proposals are priced in
+            # batches against the *current* state: each batch runs one
+            # Metropolis accept test per proposal and commits the best
+            # accepted move (the batched-rejection chain). Both paths run
+            # this same chain — the fast path prices a batch in one
+            # vectorized kernel call, the naive path with one full
+            # evaluation per proposal — so for a fixed generator state
+            # they visit identical assignments.
+            use_toggle, toggle_bits, swap_a, swap_b, accept_u = (
+                _draw_proposals(rng, steps_per_temperature, free_arr, inv_arr)
+            )
+            # Metropolis acceptance u < exp(-delta/T) recast as
+            # delta <= -T*log(u): one comparison per proposal instead of
+            # an exp per batch (identical decisions; u is never exactly 1).
+            thresholds = -temperature * np.log(accept_u)
+            if state is not None:
+                # Partition the level's proposals by move type once;
+                # pricing rounds then address the partitions through
+                # sorted index ranges. The whole remaining level is priced
+                # in one kernel call per round — valid for every batch
+                # until a move commits (the state is unchanged up to that
+                # point), after which only the suffix is re-priced. Levels
+                # with few acceptances (the regime the cooled-down chain
+                # spends most of its time in) cost one or two kernel calls
+                # instead of one per batch.
+                tog_idx = np.flatnonzero(use_toggle)
+                sw_idx = np.flatnonzero(~use_toggle)
+                tog_bits_lvl = toggle_bits[tog_idx] if len(tog_idx) else None
+                sw_pairs_lvl = (
+                    np.column_stack((swap_a[sw_idx], swap_b[sw_idx]))
+                    if len(sw_idx) else None
+                )
+                offset = 0
+                # Pricing horizon in batches: when commits are frequent
+                # most of a long horizon would be re-priced anyway, so
+                # start at one batch and double while nothing commits
+                # (cold levels then need O(log) kernel calls), resetting
+                # after each commit.
+                horizon = 1
+                while offset < steps_per_temperature:
+                    span = min(
+                        horizon * _PROPOSAL_BATCH,
+                        steps_per_temperature - offset,
                     )
-                if s_hi > s_lo:
-                    deltas[sw_idx[s_lo:s_hi] - offset] = (
-                        state.delta_swaps(sw_pairs_lvl[s_lo:s_hi])
-                    )
+                    end = offset + span
+                    t_lo, t_hi = np.searchsorted(tog_idx, (offset, end))
+                    s_lo, s_hi = np.searchsorted(sw_idx, (offset, end))
+                    deltas = np.empty(span)
+                    if t_hi > t_lo:
+                        deltas[tog_idx[t_lo:t_hi] - offset] = (
+                            state.delta_toggles(tog_bits_lvl[t_lo:t_hi])
+                        )
+                    if s_hi > s_lo:
+                        deltas[sw_idx[s_lo:s_hi] - offset] = (
+                            state.delta_swaps(sw_pairs_lvl[s_lo:s_hi])
+                        )
+                    plateau = _PLATEAU_REL_TOL * abs(current_power)
+                    accept = (
+                        deltas <= thresholds[offset:end]
+                    ) & (np.abs(deltas) > plateau)
+                    committed = False
+                    for woff in range(0, span, _PROPOSAL_BATCH):
+                        wlen = min(_PROPOSAL_BATCH, span - woff)
+                        wacc = accept[woff:woff + wlen]
+                        if not wacc.any():
+                            continue
+                        wdel = deltas[woff:woff + wlen]
+                        hit = int(np.argmin(np.where(wacc, wdel, np.inf)))
+                        idx = offset + woff + hit
+                        if use_toggle[idx]:
+                            state.toggle(
+                                int(toggle_bits[idx]), float(wdel[hit])
+                            )
+                        else:
+                            state.swap(
+                                int(swap_a[idx]), int(swap_b[idx]),
+                                float(wdel[hit]),
+                            )
+                        current_power = state.power
+                        if current_power < best_power:
+                            best, best_power = (
+                                state.assignment(), current_power
+                            )
+                        accepted += 1
+                        evaluations += woff + wlen
+                        offset += woff + wlen
+                        horizon = 1
+                        committed = True
+                        break
+                    if not committed:
+                        evaluations += span
+                        offset = end
+                        horizon *= 2
+                temperature *= cooling
+                level += 1
+                if accepted == 0 and temperature < initial_temperature * 1e-2:
+                    break
+                continue
+            for offset in range(0, steps_per_temperature, _PROPOSAL_BATCH):
+                batch = min(_PROPOSAL_BATCH, steps_per_temperature - offset)
+                best_i = -1
+                best_delta = math.inf
+                best_candidate = None
+                best_value = math.inf
                 plateau = _PLATEAU_REL_TOL * abs(current_power)
-                accept = (
-                    deltas <= thresholds[offset:end]
-                ) & (np.abs(deltas) > plateau)
-                committed = False
-                for woff in range(0, span, _PROPOSAL_BATCH):
-                    wlen = min(_PROPOSAL_BATCH, span - woff)
-                    wacc = accept[woff:woff + wlen]
-                    if not wacc.any():
-                        continue
-                    wdel = deltas[woff:woff + wlen]
-                    hit = int(np.argmin(np.where(wacc, wdel, np.inf)))
-                    idx = offset + woff + hit
-                    if use_toggle[idx]:
-                        state.toggle(
-                            int(toggle_bits[idx]), float(wdel[hit])
+                for i in range(offset, offset + batch):
+                    if use_toggle[i]:
+                        candidate = current.with_toggled_inversion(
+                            int(toggle_bits[i])
                         )
                     else:
-                        state.swap(
-                            int(swap_a[idx]), int(swap_b[idx]),
-                            float(wdel[hit]),
+                        candidate = current.with_swapped_bits(
+                            int(swap_a[i]), int(swap_b[i])
                         )
-                    current_power = state.power
-                    if current_power < best_power:
-                        best, best_power = state.assignment(), current_power
-                    accepted += 1
-                    evaluations += woff + wlen
-                    offset += woff + wlen
-                    horizon = 1
-                    committed = True
-                    break
-                if not committed:
-                    evaluations += span
-                    offset = end
-                    horizon *= 2
+                    value = scalar_cost(candidate)
+                    evaluations += 1
+                    delta = value - current_power
+                    if (
+                        delta <= thresholds[i]
+                        and abs(delta) > plateau
+                        and delta < best_delta
+                    ):
+                        best_i = i
+                        best_delta = delta
+                        best_candidate, best_value = candidate, value
+                if best_i < 0:
+                    continue
+                current, current_power = best_candidate, best_value
+                if best_value < best_power:
+                    best, best_power = best_candidate, best_value
+                accepted += 1
             temperature *= cooling
+            level += 1
             if accepted == 0 and temperature < initial_temperature * 1e-2:
                 break
-            continue
-        for offset in range(0, steps_per_temperature, _PROPOSAL_BATCH):
-            batch = min(_PROPOSAL_BATCH, steps_per_temperature - offset)
-            best_i = -1
-            best_delta = math.inf
-            best_candidate = None
-            best_value = math.inf
-            plateau = _PLATEAU_REL_TOL * abs(current_power)
-            for i in range(offset, offset + batch):
-                if use_toggle[i]:
-                    candidate = current.with_toggled_inversion(
-                        int(toggle_bits[i])
-                    )
-                else:
-                    candidate = current.with_swapped_bits(
-                        int(swap_a[i]), int(swap_b[i])
-                    )
-                value = scalar_cost(candidate)
-                evaluations += 1
-                delta = value - current_power
-                if (
-                    delta <= thresholds[i]
-                    and abs(delta) > plateau
-                    and delta < best_delta
-                ):
-                    best_i = i
-                    best_delta = delta
-                    best_candidate, best_value = candidate, value
-            if best_i < 0:
-                continue
-            current, current_power = best_candidate, best_value
-            if best_value < best_power:
-                best, best_power = best_candidate, best_value
-            accepted += 1
-        temperature *= cooling
-        if accepted == 0 and temperature < initial_temperature * 1e-2:
-            break
-
-    if polish:
-        polished = greedy_descent(
-            compiled if compiled is not None else cost,
-            best,
-            with_inversions=with_inversions,
-            constraints=constraints,
+    except KeyboardInterrupt:
+        # Clean best-so-far return; the final checkpoint below keeps the
+        # run resumable.
+        interrupted = True
+        logger.warning(
+            "%s interrupted at level %d; returning best-so-far",
+            chain_name, level,
         )
-        evaluations += polished.evaluations
-        if polished.power < best_power:
-            best, best_power = polished.assignment, polished.power
+        if control is not None:
+            control.request_stop(interrupted=True)
+
+    completed = not interrupted and not stopped
+    if polish and completed:
+        try:
+            polished = greedy_descent(
+                compiled if compiled is not None else cost,
+                best,
+                with_inversions=with_inversions,
+                constraints=constraints,
+            )
+            evaluations += polished.evaluations
+            if polished.power < best_power:
+                best, best_power = polished.assignment, polished.power
+        except KeyboardInterrupt:
+            completed = False
+            if control is not None:
+                control.request_stop(interrupted=True)
     if compiled is not None:
         # Drift-free report: re-derive the winner's power with the
         # reference operation sequence.
         best_power = compiled.power(best)
-    return SearchResult(best, best_power, evaluations)
+    if store is not None:
+        if completed:
+            store.save(
+                chain_name,
+                {
+                    "phase": "done",
+                    "best": _assignment_payload(best),
+                    "best_power": best_power,
+                    "evaluations": evaluations,
+                },
+                step=level,
+            )
+        elif boundary is not None:
+            store.save(chain_name, boundary, step=int(boundary["level"]))
+    return SearchResult(best, best_power, evaluations, completed=completed)
 
 
 def optimize_power_model(
@@ -681,11 +918,16 @@ def optimize_power_model(
     rng: Optional[np.random.Generator] = None,
     n_restarts: int = 1,
     n_jobs: int = 1,
+    deadline_s: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume_from: Optional[Union[str, Path]] = None,
 ) -> SearchResult:
     """Convenience wrapper: minimize a :class:`PowerModel` directly.
 
     Hands the model itself to the search, so all methods take the compiled
-    delta-cost/batched fast path.
+    delta-cost/batched fast path. The fault-tolerance knobs (``deadline_s``,
+    ``checkpoint_dir``, ``resume_from``) are forwarded to
+    :func:`simulated_annealing`; the other methods run to completion.
     """
     if method == "sa":
         return simulated_annealing(
@@ -696,6 +938,9 @@ def optimize_power_model(
             rng=rng,
             n_restarts=n_restarts,
             n_jobs=n_jobs,
+            deadline_s=deadline_s,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
         )
     if method == "greedy":
         start = _constrained_identity(model.n_lines, constraints)

@@ -75,6 +75,9 @@ class AssignmentReport:
     random_mean_power: float
     random_worst_power: float
     method: str
+    #: False when the underlying search returned its best-so-far early
+    #: (deadline expired or interrupted) instead of running to completion.
+    completed: bool = True
 
     @property
     def reduction_vs_random(self) -> float:
@@ -178,6 +181,9 @@ def optimize_assignment(
     extractor: Optional[CapacitanceExtractor] = None,
     n_restarts: int = 1,
     n_jobs: int = 1,
+    deadline_s: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> AssignmentReport:
     """Find (or construct) an assignment and report its power reduction.
 
@@ -189,6 +195,11 @@ def optimize_assignment(
     * ``"greedy"`` — deterministic hill climbing;
     * ``"spiral"`` / ``"sawtooth"`` — the systematic mappings of Sec. 4;
     * ``"identity"`` — evaluate the unoptimized bit order.
+
+    ``deadline_s`` / ``checkpoint_dir`` / ``resume_from`` are forwarded to
+    :func:`repro.core.optimize.simulated_annealing` (the ``"optimal"``
+    method); a search that stopped early is reported with
+    ``completed=False``.
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
@@ -200,6 +211,7 @@ def optimize_assignment(
     )
     compiled = CompiledPowerModel.compile(model)
 
+    completed = True
     if method == "optimal":
         result = simulated_annealing(
             compiled,
@@ -209,8 +221,12 @@ def optimize_assignment(
             rng=search_rng,
             n_restarts=n_restarts,
             n_jobs=n_jobs,
+            deadline_s=deadline_s,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
         )
         assignment = result.assignment
+        completed = result.completed
     elif method == "exhaustive":
         result = exhaustive_search(
             compiled,
@@ -245,6 +261,7 @@ def optimize_assignment(
         random_mean_power=mean_power,
         random_worst_power=worst_power,
         method=method,
+        completed=completed,
     )
 
 

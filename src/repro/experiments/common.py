@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -16,10 +18,14 @@ from repro.core.optimize import simulated_annealing
 from repro.core.power import PowerModel
 from repro.core.systematic import sawtooth_assignment, spiral_assignment_for_stats
 from repro.core.pipeline import random_baseline_power
+from repro.runtime.artifacts import CheckpointStore
+from repro.runtime.faults import fault_point
 from repro.stats.switching import BitStatistics
 from repro.tsv.capmodel import LinearCapacitanceModel
 from repro.tsv.extractor import CapacitanceExtractor
 from repro.tsv.geometry import TSVArrayGeometry
+
+logger = logging.getLogger("repro.experiments")
 
 #: Extraction method used by the experiment suite: the compact model with
 #: the 3-D-corrected environment profile (see
@@ -101,6 +107,103 @@ def format_table(
     return "\n".join(lines)
 
 
+class ExperimentSweep:
+    """Checkpointed figure sweep: completed points survive interrupts.
+
+    Each sweep point is one expensive, *seed-determined* computation (an
+    annealing study, a NoC link optimization). The sweep runner
+
+    * generates the point's input data *outside* :meth:`compute`, so a
+      resumed run replays the exact datagen RNG sequence of an
+      uninterrupted one (skipping cached points never desyncs later ones);
+    * wraps the expensive call in ``compute(label, thunk)`` — finished
+      points are served from the checkpoint instead of recomputed;
+    * wraps the point loop in ``with sweep.interruptible():`` so a
+      Ctrl-C (or the ``interrupt_at`` fault point, fired at every point
+      boundary) ends the sweep cleanly with the rows finished so far and
+      a resumable checkpoint on disk.
+
+    Without a ``checkpoint_dir`` the sweep runs exactly as before: no
+    files, no resume, interrupts still exit cleanly.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        fingerprint: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.kind = kind
+        self.interrupted = False
+        self._points: Dict[str, Dict[str, float]] = {}
+        self._store: Optional[CheckpointStore] = None
+        self._n_points = 0
+        if checkpoint_dir is not None:
+            self._store = CheckpointStore(
+                Path(checkpoint_dir), kind=f"sweep-{kind}",
+                fingerprint=fingerprint or {},
+            )
+            checkpoint = self._store.load(self.kind)
+            if checkpoint is not None:
+                self._points = {
+                    str(label): {str(k): float(v) for k, v in values.items()}
+                    for label, values in checkpoint.payload.get(
+                        "points", {}
+                    ).items()
+                }
+                if self._points:
+                    logger.info(
+                        "resuming %s sweep: %d points already done",
+                        self.kind, len(self._points),
+                    )
+
+    def compute(
+        self, label: str, thunk: Callable[[], Dict[str, float]]
+    ) -> Dict[str, float]:
+        """The values of sweep point ``label``, computed or restored."""
+        fault_point("interrupt_at", sweep=self.kind, point=label)
+        self._n_points += 1
+        cached = self._points.get(label)
+        if cached is not None:
+            return dict(cached)
+        values = {str(k): float(v) for k, v in thunk().items()}
+        self._points[label] = values
+        self._save()
+        return dict(values)
+
+    def _save(self) -> None:
+        if self._store is not None:
+            self._store.save(
+                self.kind, {"points": self._points},
+                step=len(self._points),
+            )
+
+    class _Interruptible:
+        def __init__(self, sweep: "ExperimentSweep") -> None:
+            self._sweep = sweep
+
+        def __enter__(self) -> "ExperimentSweep":
+            return self._sweep
+
+        def __exit__(self, exc_type, exc, tb) -> bool:
+            if exc_type is not None and issubclass(
+                exc_type, KeyboardInterrupt
+            ):
+                self._sweep.interrupted = True
+                self._sweep._save()
+                logger.warning(
+                    "%s sweep interrupted after %d points; partial rows "
+                    "returned, checkpoint saved", self._sweep.kind,
+                    len(self._sweep._points),
+                )
+                return True
+            return False
+
+    def interruptible(self) -> "ExperimentSweep._Interruptible":
+        """Context manager converting Ctrl-C into a clean partial return."""
+        return self._Interruptible(self)
+
+
 @dataclass
 class AssignmentStudy:
     """Powers and reductions of a set of assignments for one stream."""
@@ -153,6 +256,11 @@ def study_assignments(
                 rng=search_rng,
                 steps_per_temperature=sa_steps,
             )
+            if not result.completed:
+                # A best-so-far power would be silently cached as a sweep
+                # point; bubble up so the sweep drops the half-done point
+                # and exits cleanly instead.
+                raise KeyboardInterrupt("assignment search interrupted")
             powers[method] = result.power
         elif method == "spiral":
             assignment = spiral_assignment_for_stats(
@@ -193,6 +301,8 @@ def optimize_for_stream(
         rng=np.random.default_rng(seed),
         steps_per_temperature=sa_steps,
     )
+    if not result.completed:
+        raise KeyboardInterrupt("assignment search interrupted")
     return result.assignment
 
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.datagen.sequential import program_counter_bits
 from repro.experiments.common import (
     ExperimentRow,
+    ExperimentSweep,
     format_table,
     study_assignments,
 )
@@ -45,6 +46,7 @@ def run(
     branch_probabilities: Optional[Sequence[float]] = None,
     n_samples: Optional[int] = None,
     seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Reduction (vs the worst random assignment, as in the paper) per
     branch probability, for both arrays and both assignment strategies."""
@@ -55,36 +57,54 @@ def run(
     if n_samples is None:
         n_samples = 4000 if fast else 30000
     rng = np.random.default_rng(seed)
+    sweep = ExperimentSweep(
+        "fig2", checkpoint_dir,
+        fingerprint={
+            "fast": fast, "branch_probabilities": branch_probabilities,
+            "n_samples": n_samples, "seed": seed,
+        },
+    )
 
     rows: List[ExperimentRow] = []
-    for branch in branch_probabilities:
-        row = ExperimentRow(label=f"branch={branch:.2f}")
-        for geometry in arrays():
-            tag = f"{geometry.rows}x{geometry.cols}"
-            bits = program_counter_bits(
-                n_samples, geometry.n_tsvs, branch, rng
-            )
-            stats = BitStatistics.from_stream(bits)
-            study = study_assignments(
-                stats,
-                geometry,
-                methods=("optimal", "spiral"),
-                mos_aware=False,          # Eq. 11: balanced probabilities
-                with_inversions=False,
-                baseline_samples=100 if fast else 300,
-                seed=seed,
-                sa_steps=8 * geometry.n_tsvs if fast else None,
-            )
-            row.values[f"opt {tag}"] = study.reduction("optimal", "worst")
-            row.values[f"spiral {tag}"] = study.reduction("spiral", "worst")
-        rows.append(row)
+    with sweep.interruptible():
+        for branch in branch_probabilities:
+            row = ExperimentRow(label=f"branch={branch:.2f}")
+            for geometry in arrays():
+                tag = f"{geometry.rows}x{geometry.cols}"
+                # Datagen runs unconditionally (outside the cached thunk)
+                # so a resumed sweep replays the same RNG sequence.
+                bits = program_counter_bits(
+                    n_samples, geometry.n_tsvs, branch, rng
+                )
+
+                def point(bits=bits, geometry=geometry):
+                    stats = BitStatistics.from_stream(bits)
+                    study = study_assignments(
+                        stats,
+                        geometry,
+                        methods=("optimal", "spiral"),
+                        mos_aware=False,  # Eq. 11: balanced probabilities
+                        with_inversions=False,
+                        baseline_samples=100 if fast else 300,
+                        seed=seed,
+                        sa_steps=8 * geometry.n_tsvs if fast else None,
+                    )
+                    return {
+                        "opt": study.reduction("optimal", "worst"),
+                        "spiral": study.reduction("spiral", "worst"),
+                    }
+
+                values = sweep.compute(f"branch={branch:.2f}/{tag}", point)
+                row.values[f"opt {tag}"] = values["opt"]
+                row.values[f"spiral {tag}"] = values["spiral"]
+            rows.append(row)
     return rows
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, checkpoint_dir: Optional[str] = None) -> str:
     table = format_table(
         "Fig. 2 - P_red vs worst-case random assignment, sequential streams",
-        run(fast=fast),
+        run(fast=fast, checkpoint_dir=checkpoint_dir),
     )
     print(table)
     return table

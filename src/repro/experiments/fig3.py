@@ -23,6 +23,7 @@ import numpy as np
 from repro.datagen.gaussian import gaussian_bit_stream
 from repro.experiments.common import (
     ExperimentRow,
+    ExperimentSweep,
     format_table,
     study_assignments,
 )
@@ -45,6 +46,7 @@ def run(
     rhos: Sequence[float] = RHOS,
     n_samples: Optional[int] = None,
     seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Reduction vs the mean random assignment for every (rho, sigma)."""
     if sigmas is None:
@@ -53,42 +55,56 @@ def run(
         n_samples = 4000 if fast else 30000
     geometry = array()
     rng = np.random.default_rng(seed)
+    sweep = ExperimentSweep(
+        "fig3", checkpoint_dir,
+        fingerprint={
+            "fast": fast, "sigmas": sigmas, "rhos": rhos,
+            "n_samples": n_samples, "seed": seed,
+        },
+    )
 
     rows: List[ExperimentRow] = []
-    for rho in rhos:
-        for sigma in sigmas:
-            bits = gaussian_bit_stream(
-                n_samples, WIDTH, sigma=sigma, rho=rho, rng=rng
-            )
-            stats = BitStatistics.from_stream(bits)
-            study = study_assignments(
-                stats,
-                geometry,
-                methods=("optimal", "sawtooth", "spiral"),
-                mos_aware=False,          # mean-free: balanced probabilities
-                with_inversions=False,
-                baseline_samples=100 if fast else 300,
-                seed=seed,
-                sa_steps=8 * geometry.n_tsvs if fast else None,
-            )
-            rows.append(
-                ExperimentRow(
-                    label=f"rho={rho:+.1f} sigma=2^{np.log2(sigma):.0f}",
-                    values={
+    with sweep.interruptible():
+        for rho in rhos:
+            for sigma in sigmas:
+                # Datagen runs unconditionally (outside the cached thunk)
+                # so a resumed sweep replays the same RNG sequence.
+                bits = gaussian_bit_stream(
+                    n_samples, WIDTH, sigma=sigma, rho=rho, rng=rng
+                )
+                label = f"rho={rho:+.1f} sigma=2^{np.log2(sigma):.0f}"
+
+                def point(bits=bits):
+                    stats = BitStatistics.from_stream(bits)
+                    study = study_assignments(
+                        stats,
+                        geometry,
+                        methods=("optimal", "sawtooth", "spiral"),
+                        mos_aware=False,  # mean-free: balanced probabilities
+                        with_inversions=False,
+                        baseline_samples=100 if fast else 300,
+                        seed=seed,
+                        sa_steps=8 * geometry.n_tsvs if fast else None,
+                    )
+                    return {
                         "optimal": study.reduction("optimal"),
                         "sawtooth": study.reduction("sawtooth"),
                         "spiral": study.reduction("spiral"),
-                    },
+                    }
+
+                rows.append(
+                    ExperimentRow(
+                        label=label, values=sweep.compute(label, point)
+                    )
                 )
-            )
     return rows
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, checkpoint_dir: Optional[str] = None) -> str:
     table = format_table(
         "Fig. 3 - P_red vs mean random assignment, 16 b Gaussian streams "
         "on 4x4 (r=2um, d=8um)",
-        run(fast=fast),
+        run(fast=fast, checkpoint_dir=checkpoint_dir),
     )
     print(table)
     return table

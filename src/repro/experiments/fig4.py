@@ -28,6 +28,7 @@ from repro.core.assignment import AssignmentConstraints
 from repro.datagen import images
 from repro.experiments.common import (
     ExperimentRow,
+    ExperimentSweep,
     format_table,
     study_assignments,
 )
@@ -82,6 +83,7 @@ def run(
     n_frames: Optional[int] = None,
     frame_size: Optional[int] = None,
     seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Reduction vs the mean random assignment per scenario and geometry."""
     if n_frames is None:
@@ -89,47 +91,59 @@ def run(
     if frame_size is None:
         frame_size = 24 if fast else 64
     rng = np.random.default_rng(seed)
+    sweep = ExperimentSweep(
+        "fig4", checkpoint_dir,
+        fingerprint={
+            "fast": fast, "n_frames": n_frames,
+            "frame_size": frame_size, "seed": seed,
+        },
+    )
 
     rows: List[ExperimentRow] = []
-    for scenario in scenarios():
-        frames = [
-            (images.synthetic_rgb_scene if scenario.rgb else images.synthetic_scene)(
-                frame_size, frame_size, rng=rng
-            )
-            for _ in range(n_frames)
-        ]
-        bits = scenario.stream(frames)
-        stats = BitStatistics.from_stream(bits)
-        for geometry in geometries(scenario):
-            tag = f"r={geometry.radius * 1e6:.0f}um"
-            study = study_assignments(
-                stats,
-                geometry,
-                methods=("optimal", "spiral"),
-                mos_aware=True,
-                with_inversions=True,
-                constraints=scenario.constraints,
-                baseline_samples=50 if fast else 200,
-                seed=seed,
-                sa_steps=6 * geometry.n_tsvs if fast else None,
-            )
-            label = f"{scenario.label} {tag}"
-            rows.append(
-                ExperimentRow(
-                    label=label,
-                    values={
+    with sweep.interruptible():
+        for scenario in scenarios():
+            # Datagen runs unconditionally (outside the cached thunks) so
+            # a resumed sweep replays the same RNG sequence.
+            frames = [
+                (images.synthetic_rgb_scene if scenario.rgb
+                 else images.synthetic_scene)(frame_size, frame_size, rng=rng)
+                for _ in range(n_frames)
+            ]
+            bits = scenario.stream(frames)
+            stats = BitStatistics.from_stream(bits)
+            for geometry in geometries(scenario):
+                tag = f"r={geometry.radius * 1e6:.0f}um"
+                label = f"{scenario.label} {tag}"
+
+                def point(stats=stats, geometry=geometry, scenario=scenario):
+                    study = study_assignments(
+                        stats,
+                        geometry,
+                        methods=("optimal", "spiral"),
+                        mos_aware=True,
+                        with_inversions=True,
+                        constraints=scenario.constraints,
+                        baseline_samples=50 if fast else 200,
+                        seed=seed,
+                        sa_steps=6 * geometry.n_tsvs if fast else None,
+                    )
+                    return {
                         "optimal": study.reduction("optimal"),
                         "spiral": study.reduction("spiral"),
-                    },
+                    }
+
+                rows.append(
+                    ExperimentRow(
+                        label=label, values=sweep.compute(label, point)
+                    )
                 )
-            )
     return rows
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, checkpoint_dir: Optional[str] = None) -> str:
     table = format_table(
         "Fig. 4 - P_red vs mean random assignment, image-sensor streams",
-        run(fast=fast),
+        run(fast=fast, checkpoint_dir=checkpoint_dir),
     )
     print(table)
     return table

@@ -27,6 +27,7 @@ import numpy as np
 from repro.datagen import mems
 from repro.experiments.common import (
     ExperimentRow,
+    ExperimentSweep,
     format_table,
     study_assignments,
 )
@@ -44,13 +45,20 @@ def run(
     fast: bool = False,
     n_samples: Optional[int] = None,
     seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Reduction vs the mean random assignment for every stream format."""
     if n_samples is None:
         n_samples = 1500 if fast else 8192
     geometry = array()
     rng = np.random.default_rng(seed)
+    sweep = ExperimentSweep(
+        "fig5", checkpoint_dir,
+        fingerprint={"fast": fast, "n_samples": n_samples, "seed": seed},
+    )
 
+    # Datagen runs unconditionally (before the cached sweep points) so a
+    # resumed sweep replays the same RNG sequence.
     streams = {}
     for sensor in mems.SENSORS:
         axes = mems.sensor_axes(sensor, SCENARIO, n_samples, rng)
@@ -62,36 +70,38 @@ def run(
     )
 
     rows: List[ExperimentRow] = []
-    for label, bits in streams.items():
-        stats = BitStatistics.from_stream(bits)
-        study = study_assignments(
-            stats,
-            geometry,
-            methods=("optimal", "sawtooth", "spiral"),
-            mos_aware=True,
-            with_inversions=True,
-            baseline_samples=50 if fast else 200,
-            seed=seed,
-            sa_steps=6 * geometry.n_tsvs if fast else None,
-        )
-        rows.append(
-            ExperimentRow(
-                label=label,
-                values={
+    with sweep.interruptible():
+        for label, bits in streams.items():
+
+            def point(bits=bits):
+                stats = BitStatistics.from_stream(bits)
+                study = study_assignments(
+                    stats,
+                    geometry,
+                    methods=("optimal", "sawtooth", "spiral"),
+                    mos_aware=True,
+                    with_inversions=True,
+                    baseline_samples=50 if fast else 200,
+                    seed=seed,
+                    sa_steps=6 * geometry.n_tsvs if fast else None,
+                )
+                return {
                     "optimal": study.reduction("optimal"),
                     "sawtooth": study.reduction("sawtooth"),
                     "spiral": study.reduction("spiral"),
-                },
+                }
+
+            rows.append(
+                ExperimentRow(label=label, values=sweep.compute(label, point))
             )
-        )
     return rows
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, checkpoint_dir: Optional[str] = None) -> str:
     table = format_table(
         "Fig. 5 - P_red vs mean random assignment, MEMS sensor streams on "
         "4x4 (r=2um, d=8um)",
-        run(fast=fast),
+        run(fast=fast, checkpoint_dir=checkpoint_dir),
     )
     print(table)
     return table

@@ -43,6 +43,7 @@ from repro.datagen.util import (
 )
 from repro.experiments.common import (
     ExperimentRow,
+    ExperimentSweep,
     circuit_power_mw,
     format_table,
     optimize_for_stream,
@@ -119,99 +120,156 @@ def run(
     fast: bool = False,
     n_block: Optional[int] = None,
     seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Power [mW, scaled to 32 b/cycle] per stream and coding variant."""
     if n_block is None:
         n_block = 600 if fast else 3900
     sa_steps = None if not fast else 100
     rng = np.random.default_rng(seed)
+    sweep = ExperimentSweep(
+        "fig6", checkpoint_dir,
+        fingerprint={"fast": fast, "n_block": n_block, "seed": seed},
+    )
     rows: List[ExperimentRow] = []
 
     a44 = TSVArrayGeometry(rows=4, cols=4, pitch=4e-6, radius=1e-6)
     a33 = TSVArrayGeometry(rows=3, cols=3, pitch=4e-6, radius=1e-6)
 
-    # --- Sensor Seq. ---------------------------------------------------------
-    seq_bits = sensor_seq_bits(n_block, rng)
-    rows.append(
-        ExperimentRow(
-            "Sensor Seq. (16b, 4x4)",
-            _study(seq_bits, a44, payload_bits=16, seed=seed,
-                   sa_steps=sa_steps),
+    # All datagen below runs unconditionally (outside the cached sweep
+    # points) so a resumed sweep replays the same RNG sequence; only the
+    # expensive seed-determined studies live inside the thunks.
+    with sweep.interruptible():
+        # --- Sensor Seq. -----------------------------------------------------
+        seq_bits = sensor_seq_bits(n_block, rng)
+        rows.append(
+            ExperimentRow(
+                "Sensor Seq. (16b, 4x4)",
+                sweep.compute(
+                    "sensor-seq",
+                    lambda: _study(seq_bits, a44, payload_bits=16, seed=seed,
+                                   sa_steps=sa_steps),
+                ),
+            )
         )
-    )
 
-    # --- Sensor Mux., plain and Gray ------------------------------------------
-    mux_words = sensor_mux_words(n_block, rng)
-    unsigned = np.where(mux_words < 0, mux_words + (1 << 16), mux_words)
-    mux_bits = words_to_bits(unsigned, 16)
-    values = _study(mux_bits, a44, payload_bits=16, seed=seed,
-                    sa_steps=sa_steps)
-    gray_bits = words_to_bits(gray_encode_words(unsigned, 16), 16)
-    values["gray"] = random_mean_power_mw(gray_bits, a44, payload_bits=16)
-    # XNOR Gray (negated code words) + optimal assignment of the coded bits.
-    gray_neg_bits = words_to_bits(
-        gray_encode_words(unsigned, 16, negated=True), 16
-    )
-    gray_opt = optimize_for_stream(
-        BitStatistics.from_stream(gray_neg_bits), a44, seed=seed,
-        sa_steps=sa_steps,
-    )
-    values["gray+opt"] = circuit_power_mw(
-        gray_neg_bits, a44, assignment=gray_opt, payload_bits=16
-    )
-    rows.append(ExperimentRow("Sensor Mux. (16b, 4x4)", values))
-
-    # --- RGB Mux. + redundant line, plain and correlated -----------------------
-    frames = images.default_frames(3, 32 if fast else 64, 32 if fast else 64,
-                                   rng=rng)
-    cells = images._bayer_words(frames)
-    rgb_words = cells.reshape(-1)
-    rgb_bits = append_stable_lines(words_to_bits(rgb_words, 8), [0])
-    values = _study(rgb_bits, a33, payload_bits=8, seed=seed,
-                    sa_steps=sa_steps)
-    corr_words = correlate_words(rgb_words, 8, n_channels=4)
-    corr_bits = append_stable_lines(words_to_bits(corr_words, 8), [0])
-    values["corr"] = random_mean_power_mw(corr_bits, a33, payload_bits=8)
-    # XNOR correlator + inverted redundant line + optimal assignment.
-    corr_neg_words = correlate_words(rgb_words, 8, n_channels=4, negated=True)
-    corr_neg_bits = append_stable_lines(words_to_bits(corr_neg_words, 8), [0])
-    corr_opt = optimize_for_stream(
-        BitStatistics.from_stream(corr_neg_bits), a33, seed=seed,
-        sa_steps=sa_steps,
-    )
-    values["corr+opt"] = circuit_power_mw(
-        corr_neg_bits, a33, assignment=corr_opt, payload_bits=8
-    )
-    rows.append(ExperimentRow("RGB Mux.+1R (8b, 3x3)", values))
-
-    # --- Coupling-invert coded random stream -----------------------------------
-    data = uniform_random_words(9 * n_block, 7, rng)
-    coded, flags = coupling_invert_encode(data, 7)
-    link_bits = coded_bit_stream(coded, flags, 7)
-    packet_flag = (rng.random(len(link_bits)) < 1e-4).astype(np.uint8)
-    coded_link = np.concatenate([link_bits, packet_flag[:, None]], axis=1)
-    rows.append(
-        ExperimentRow(
-            "Coded 7b+flag (3x3)",
-            _study(coded_link, a33, payload_bits=7, seed=seed,
-                   sa_steps=sa_steps),
+        # --- Sensor Mux., plain and Gray --------------------------------------
+        mux_words = sensor_mux_words(n_block, rng)
+        unsigned = np.where(mux_words < 0, mux_words + (1 << 16), mux_words)
+        mux_bits = words_to_bits(unsigned, 16)
+        gray_bits = words_to_bits(gray_encode_words(unsigned, 16), 16)
+        # XNOR Gray (negated code words) + optimal assignment of the
+        # coded bits.
+        gray_neg_bits = words_to_bits(
+            gray_encode_words(unsigned, 16, negated=True), 16
         )
-    )
 
-    # --- Sec. 7 footnote: larger geometry --------------------------------------
-    a33_large = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
-    values = {
-        "plain": random_mean_power_mw(rgb_bits, a33_large, payload_bits=8),
-        "corr": random_mean_power_mw(corr_bits, a33_large, payload_bits=8),
-    }
-    corr_opt_large = optimize_for_stream(
-        BitStatistics.from_stream(corr_neg_bits), a33_large, seed=seed,
-        sa_steps=sa_steps,
-    )
-    values["corr+opt"] = circuit_power_mw(
-        corr_neg_bits, a33_large, assignment=corr_opt_large, payload_bits=8
-    )
-    rows.append(ExperimentRow("RGB r=2um d=8um (foot.)", values))
+        def sensor_mux_point() -> Dict[str, float]:
+            values = _study(mux_bits, a44, payload_bits=16, seed=seed,
+                            sa_steps=sa_steps)
+            values["gray"] = random_mean_power_mw(
+                gray_bits, a44, payload_bits=16
+            )
+            gray_opt = optimize_for_stream(
+                BitStatistics.from_stream(gray_neg_bits), a44, seed=seed,
+                sa_steps=sa_steps,
+            )
+            values["gray+opt"] = circuit_power_mw(
+                gray_neg_bits, a44, assignment=gray_opt, payload_bits=16
+            )
+            return values
+
+        rows.append(
+            ExperimentRow(
+                "Sensor Mux. (16b, 4x4)",
+                sweep.compute("sensor-mux", sensor_mux_point),
+            )
+        )
+
+        # --- RGB Mux. + redundant line, plain and correlated -------------------
+        frames = images.default_frames(
+            3, 32 if fast else 64, 32 if fast else 64, rng=rng
+        )
+        cells = images._bayer_words(frames)
+        rgb_words = cells.reshape(-1)
+        rgb_bits = append_stable_lines(words_to_bits(rgb_words, 8), [0])
+        corr_words = correlate_words(rgb_words, 8, n_channels=4)
+        corr_bits = append_stable_lines(words_to_bits(corr_words, 8), [0])
+        # XNOR correlator + inverted redundant line + optimal assignment.
+        corr_neg_words = correlate_words(
+            rgb_words, 8, n_channels=4, negated=True
+        )
+        corr_neg_bits = append_stable_lines(
+            words_to_bits(corr_neg_words, 8), [0]
+        )
+
+        def rgb_mux_point() -> Dict[str, float]:
+            values = _study(rgb_bits, a33, payload_bits=8, seed=seed,
+                            sa_steps=sa_steps)
+            values["corr"] = random_mean_power_mw(
+                corr_bits, a33, payload_bits=8
+            )
+            corr_opt = optimize_for_stream(
+                BitStatistics.from_stream(corr_neg_bits), a33, seed=seed,
+                sa_steps=sa_steps,
+            )
+            values["corr+opt"] = circuit_power_mw(
+                corr_neg_bits, a33, assignment=corr_opt, payload_bits=8
+            )
+            return values
+
+        rows.append(
+            ExperimentRow(
+                "RGB Mux.+1R (8b, 3x3)",
+                sweep.compute("rgb-mux", rgb_mux_point),
+            )
+        )
+
+        # --- Coupling-invert coded random stream -------------------------------
+        data = uniform_random_words(9 * n_block, 7, rng)
+        coded, flags = coupling_invert_encode(data, 7)
+        link_bits = coded_bit_stream(coded, flags, 7)
+        packet_flag = (rng.random(len(link_bits)) < 1e-4).astype(np.uint8)
+        coded_link = np.concatenate([link_bits, packet_flag[:, None]], axis=1)
+        rows.append(
+            ExperimentRow(
+                "Coded 7b+flag (3x3)",
+                sweep.compute(
+                    "coded-7b",
+                    lambda: _study(coded_link, a33, payload_bits=7, seed=seed,
+                                   sa_steps=sa_steps),
+                ),
+            )
+        )
+
+        # --- Sec. 7 footnote: larger geometry ----------------------------------
+        a33_large = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+
+        def footnote_point() -> Dict[str, float]:
+            values = {
+                "plain": random_mean_power_mw(
+                    rgb_bits, a33_large, payload_bits=8
+                ),
+                "corr": random_mean_power_mw(
+                    corr_bits, a33_large, payload_bits=8
+                ),
+            }
+            corr_opt_large = optimize_for_stream(
+                BitStatistics.from_stream(corr_neg_bits), a33_large,
+                seed=seed, sa_steps=sa_steps,
+            )
+            values["corr+opt"] = circuit_power_mw(
+                corr_neg_bits, a33_large, assignment=corr_opt_large,
+                payload_bits=8,
+            )
+            return values
+
+        rows.append(
+            ExperimentRow(
+                "RGB r=2um d=8um (foot.)",
+                sweep.compute("footnote", footnote_point),
+            )
+        )
     return rows
 
 
@@ -233,8 +291,8 @@ def reductions(rows: List[ExperimentRow]) -> List[ExperimentRow]:
     return result
 
 
-def main(fast: bool = False) -> str:
-    rows = run(fast=fast)
+def main(fast: bool = False, checkpoint_dir: Optional[str] = None) -> str:
+    rows = run(fast=fast, checkpoint_dir=checkpoint_dir)
     power_table = format_table(
         "Fig. 6 - TSV power incl. drivers and leakage [mW], scaled to "
         "32 b/cycle (r=1um, d=4um, 3 GHz)",

@@ -25,7 +25,11 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.experiments.common import ExperimentRow, format_table
+from repro.experiments.common import (
+    ExperimentRow,
+    ExperimentSweep,
+    format_table,
+)
 from repro.noc.power import optimize_vertical_links
 from repro.noc.simulation import simulate_link_traces
 from repro.noc.topology import MeshTopology
@@ -39,6 +43,7 @@ def run(
     fast: bool = False,
     n_packets: Optional[int] = None,
     seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     topology = MeshTopology(3, 3, 2)
     if n_packets is None:
@@ -46,6 +51,10 @@ def run(
     flits_per_packet = 8 if fast else 16
     sa_steps = 40 if fast else None
     rng = ensure_rng(seed=seed)
+    sweep = ExperimentSweep(
+        "noc", checkpoint_dir,
+        fingerprint={"fast": fast, "n_packets": n_packets, "seed": seed},
+    )
 
     workloads = {
         "uniform": uniform_traffic(
@@ -65,34 +74,36 @@ def run(
     }
 
     rows: List[ExperimentRow] = []
-    for label, trace in workloads.items():
-        traces = simulate_link_traces(topology, trace)
-        report = optimize_vertical_links(
-            traces,
-            sa_steps=sa_steps,
-            baseline_samples=15 if fast else 30,
-            rng=ensure_rng(seed=seed),
-        )
-        rows.append(
-            ExperimentRow(
-                label,
-                {
+    with sweep.interruptible():
+        for label, trace in workloads.items():
+
+            def point(trace=trace):
+                traces = simulate_link_traces(topology, trace)
+                report = optimize_vertical_links(
+                    traces,
+                    sa_steps=sa_steps,
+                    baseline_samples=15 if fast else 30,
+                    rng=ensure_rng(seed=seed),
+                )
+                return {
                     "assigned %": 100.0 * report.reduction("assigned"),
                     "coded %": 100.0 * report.reduction("coded"),
                     "both %": 100.0 * report.reduction("coded_assigned"),
                     "TSV links": float(report.n_links),
                     "kflits": report.n_flits / 1000.0,
-                },
+                }
+
+            rows.append(
+                ExperimentRow(label, sweep.compute(label, point))
             )
-        )
     return rows
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False, checkpoint_dir: Optional[str] = None) -> str:
     table = format_table(
         "NoC case study - reduction of total vertical-link power vs plain "
         "wiring, 3x3x2 mesh",
-        run(fast=fast),
+        run(fast=fast, checkpoint_dir=checkpoint_dir),
         unit="raw",
     )
     print(table)

@@ -115,6 +115,10 @@ def optimize_vertical_links(
         best = simulated_annealing(
             model.power, width, rng=rng, steps_per_temperature=sa_steps
         )
+        if not best.completed:
+            # An interrupted link search would bias the network totals;
+            # bubble up so checkpointed sweeps drop the half-done point.
+            raise KeyboardInterrupt("link assignment search interrupted")
         totals["assigned"] += best.power
 
         coded_words, flags = coupling_invert_encode(words, width)
@@ -126,6 +130,8 @@ def optimize_vertical_links(
             coded_power.power, width + 1, rng=rng,
             steps_per_temperature=sa_steps,
         )
+        if not coded_best.completed:
+            raise KeyboardInterrupt("link assignment search interrupted")
         totals["coded_assigned"] += coded_best.power
 
     if n_links == 0:

@@ -1,0 +1,238 @@
+"""Fault injection: prove the fault-tolerant layer actually tolerates faults.
+
+The runtime layer (checkpoints, chain supervision, the self-healing
+extraction cache) is only trustworthy if its failure paths are exercised
+routinely, so the library carries its own chaos harness. Production code
+calls :func:`fault_point` at the places where real faults strike; the
+call is a no-op unless a *fault plan* is active, in which case the plan
+decides whether this particular firing crashes, sleeps or interrupts.
+
+Activation
+----------
+
+* ``REPRO_FAULTS="<spec>"`` in the environment (how CI's chaos job runs
+  the whole test suite under fault pressure), or
+* ``with inject_faults("<spec>"):`` around a block (how individual tests
+  target one fault at one point). The context manager takes precedence
+  over the environment while active.
+
+Spec mini-language
+------------------
+
+A spec is a ``;``-separated list of fault entries, each
+``point(arg, ...)``::
+
+    chain_crash(0,2)        chains 0 and 2 raise InjectedFault at start,
+                            on every attempt (retries exhausted -> the
+                            supervisor degrades gracefully)
+    chain_crash(1,once)     chain 1 crashes on its first attempt only
+                            (the retry must reproduce the clean result)
+    cache_corrupt(2)        truncate the next 2 extraction-cache files
+                            right after they are written
+    slow_solve(0.05)        sleep 50 ms at each field solve
+    interrupt_at(3)         raise KeyboardInterrupt at the 3rd firing of
+                            the interrupt_at point (annealing temperature
+                            levels / sweep point boundaries), once
+
+Unknown points or malformed entries raise :class:`ValueError` immediately
+at parse time — a typo in a chaos spec must not silently disable the
+fault it meant to inject.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import re
+import threading
+import time
+from typing import Any, Dict, Optional
+
+logger = logging.getLogger("repro.runtime")
+
+#: Environment variable holding the process-wide fault spec.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: The injection points production code declares. Keeping the set closed
+#: makes a misspelled spec an error instead of a silent no-op.
+KNOWN_POINTS = ("chain_crash", "cache_corrupt", "slow_solve", "interrupt_at")
+
+#: Upper bound on one injected sleep, so a fat-fingered spec cannot hang CI.
+_MAX_SLEEP_S = 5.0
+
+_ENTRY_RE = re.compile(r"^\s*(?P<name>[a-z_]+)\s*(?:\((?P<args>[^)]*)\))?\s*$")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a firing ``chain_crash`` fault point."""
+
+
+class FaultPlan:
+    """A parsed fault spec plus its (thread-safe) firing counters."""
+
+    def __init__(self, spec: str) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._crash_chains: Dict[int, bool] = {}  # index -> crash every time
+        self._crash_once = False
+        self._corrupt_remaining = 0
+        self._slow_s = 0.0
+        self._interrupt_at = 0
+        self._interrupt_count = 0
+        self._interrupt_done = False
+        self._points: Dict[str, bool] = {}
+        for entry in spec.split(";"):
+            if entry.strip():
+                self._parse_entry(entry)
+
+    def _parse_entry(self, entry: str) -> None:
+        match = _ENTRY_RE.match(entry)
+        if match is None:
+            raise ValueError(f"malformed fault entry {entry.strip()!r}")
+        name = match.group("name")
+        if name not in KNOWN_POINTS:
+            raise ValueError(
+                f"unknown fault point {name!r}; known: {KNOWN_POINTS}"
+            )
+        raw_args = [
+            token.strip()
+            for token in (match.group("args") or "").split(",")
+            if token.strip()
+        ]
+        if name == "chain_crash":
+            once = "once" in raw_args
+            indices = [int(token) for token in raw_args if token != "once"]
+            if not indices:
+                raise ValueError("chain_crash needs at least one chain index")
+            self._crash_once = once
+            for index in indices:
+                self._crash_chains[index] = not once
+        elif name == "cache_corrupt":
+            self._corrupt_remaining = int(raw_args[0]) if raw_args else 1
+        elif name == "slow_solve":
+            if not raw_args:
+                raise ValueError("slow_solve needs a duration in seconds")
+            self._slow_s = float(raw_args[0])
+        elif name == "interrupt_at":
+            if not raw_args:
+                raise ValueError("interrupt_at needs a firing count")
+            self._interrupt_at = int(raw_args[0])
+            if self._interrupt_at < 1:
+                raise ValueError(
+                    f"interrupt_at count must be >= 1, got {self._interrupt_at}"
+                )
+        self._points[name] = True
+
+    def active(self, name: str) -> bool:
+        return name in self._points
+
+    # -- firing ----------------------------------------------------------------
+
+    def fire(self, name: str, **context: Any) -> None:
+        """Apply the configured fault at one firing of ``name``."""
+        if name == "chain_crash":
+            chain = int(context.get("chain", -1))
+            attempt = int(context.get("attempt", 0))
+            with self._lock:
+                crash = self._crash_chains.get(chain)
+                should = crash is not None and (crash or attempt == 0)
+            if should:
+                logger.warning(
+                    "fault injection: crashing chain %d (attempt %d)",
+                    chain, attempt,
+                )
+                raise InjectedFault(
+                    f"injected chain_crash (chain={chain}, attempt={attempt})"
+                )
+        elif name == "cache_corrupt":
+            path = context.get("path")
+            with self._lock:
+                if self._corrupt_remaining <= 0 or path is None:
+                    return
+                self._corrupt_remaining -= 1
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+            logger.warning("fault injection: truncated cache entry %s", path)
+        elif name == "slow_solve":
+            time.sleep(min(self._slow_s, _MAX_SLEEP_S))
+        elif name == "interrupt_at":
+            with self._lock:
+                if self._interrupt_done or self._interrupt_at < 1:
+                    return
+                self._interrupt_count += 1
+                if self._interrupt_count < self._interrupt_at:
+                    return
+                # Fire exactly once, so a resumed run (same process, same
+                # plan) is not re-interrupted at the same boundary.
+                self._interrupt_done = True
+            logger.warning(
+                "fault injection: interrupting at boundary %d (%s)",
+                self._interrupt_at,
+                ", ".join(f"{k}={v}" for k, v in sorted(context.items())),
+            )
+            raise KeyboardInterrupt(
+                f"injected interrupt at boundary {self._interrupt_at}"
+            )
+
+
+# A context-manager plan overrides the environment plan; both are process
+# wide (worker threads must see the same plan as the chain that armed it).
+_local_plan: Optional[FaultPlan] = None
+_env_plan: Optional[FaultPlan] = None
+_plan_lock = threading.Lock()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The fault plan in effect, if any."""
+    global _env_plan
+    if _local_plan is not None:
+        return _local_plan
+    spec = os.environ.get(FAULTS_ENV_VAR, "")
+    if not spec.strip():
+        return None
+    with _plan_lock:
+        if _env_plan is None or _env_plan.spec != spec:
+            _env_plan = FaultPlan(spec)
+        return _env_plan
+
+
+def fault_point(name: str, **context: Any) -> None:
+    """Declare an injection point; no-op unless a plan targets ``name``.
+
+    ``context`` gives the plan what it needs to decide (chain index,
+    attempt number, cache path, ...).
+    """
+    plan = active_plan()
+    if plan is not None and plan.active(name):
+        plan.fire(name, **context)
+
+
+class inject_faults:
+    """Context manager activating a fault spec for the enclosed block.
+
+    Re-entrant in the stack sense (the previous plan is restored on exit);
+    the active plan is process-global so faults also fire in worker
+    threads spawned inside the block.
+    """
+
+    def __init__(self, spec: str) -> None:
+        self.plan = FaultPlan(spec)
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _local_plan
+        self._previous = _local_plan
+        _local_plan = self.plan
+        return self.plan
+
+    def __exit__(self, *exc_info: Any) -> None:
+        global _local_plan
+        _local_plan = self._previous
+
+
+#: Shape/unit signatures for the deep-lint flow pass.
+REPRO_SIGNATURES = {
+    "FaultPlan": {"spec": "any"},
+    "fault_point": {"name": "any"},
+    "active_plan": {"return": "FaultPlan | any"},
+}

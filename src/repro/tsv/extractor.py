@@ -9,11 +9,18 @@ requests capacitance matrices through :class:`CapacitanceExtractor`, which
 * memoizes results in memory and, optionally, on disk, because the FDM
   solver costs seconds per matrix while benchmark sweeps ask for the same
   geometry thousands of times.
+
+The disk cache is *self-healing*: every entry is written atomically as an
+``.npz`` bundle carrying a format version and a content checksum, and a
+corrupted, truncated or stale entry is detected on read, logged, evicted
+and transparently recomputed (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
+import logging
 import os
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple
@@ -21,6 +28,8 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import constants
+from repro.runtime.artifacts import atomic_write_bytes
+from repro.runtime.faults import fault_point
 from repro.tsv.arraycap import (
     DEFAULT_PARAMETERS,
     STRONG_EDGE_PARAMETERS,
@@ -29,11 +38,14 @@ from repro.tsv.arraycap import (
 )
 from repro.tsv.geometry import TSVArrayGeometry
 
+logger = logging.getLogger("repro.tsv.extractor")
+
 #: Environment variable overriding the on-disk cache location.
 CACHE_ENV_VAR = "REPRO_TSV_CACHE"
 
-#: Bump when solver defaults change in ways that invalidate cached matrices.
-_CACHE_VERSION = 2
+#: Bump when solver defaults or the cache file layout change in ways that
+#: invalidate cached matrices (v3: checksummed .npz bundles).
+_CACHE_VERSION = 3
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -117,7 +129,7 @@ class CapacitanceExtractor:
             # The compact model is fast enough not to bother the disk.
             return None
         digest = hashlib.sha256(repr(key).encode()).hexdigest()[:24]
-        return Path(self.cache_dir) / f"cap_{digest}.npy"
+        return Path(self.cache_dir) / f"cap_{digest}.npz"
 
     # -- extraction -----------------------------------------------------------
 
@@ -151,31 +163,64 @@ class CapacitanceExtractor:
         matrix = self._compute(probabilities)
         self._memory_cache[key] = matrix
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp.npy")
-            np.save(tmp, matrix)
-            os.replace(tmp, path)
+            self._store_cached(path, matrix)
         return matrix.copy()
 
+    @staticmethod
+    def _matrix_digest(matrix: np.ndarray) -> str:
+        return hashlib.sha256(
+            np.ascontiguousarray(matrix, dtype=np.float64).tobytes()
+        ).hexdigest()
+
+    def _store_cached(self, path: Path, matrix: np.ndarray) -> None:
+        """Atomically write a checksummed, version-stamped cache bundle."""
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            matrix=np.asarray(matrix, dtype=np.float64),
+            version=np.int64(_CACHE_VERSION),
+            sha256=np.bytes_(self._matrix_digest(matrix).encode("ascii")),
+        )
+        atomic_write_bytes(path, buffer.getvalue())
+        # The chaos harness corrupts entries "right after they are
+        # written"; the next read must detect, evict and recompute.
+        fault_point("cache_corrupt", path=path)
+
+    def _evict(self, path: Path, reason: str) -> None:
+        logger.warning("evicting unusable cache entry %s: %s", path, reason)
+        path.unlink(missing_ok=True)
+
     def _load_cached(self, path: Path) -> Optional[np.ndarray]:
-        """Read a cache entry; corrupt or wrong-shaped files are discarded
-        (and recomputed) rather than crashing the extraction."""
+        """Read a cache entry; corrupt, stale or wrong-shaped bundles are
+        logged, evicted and recomputed rather than crashing the extraction."""
         n = self.geometry.n_tsvs
         try:
-            matrix = np.load(path)
-        except (OSError, ValueError):
-            path.unlink(missing_ok=True)
+            with np.load(path) as bundle:
+                if "matrix" not in bundle or "sha256" not in bundle:
+                    self._evict(path, "missing bundle fields")
+                    return None
+                version = int(bundle["version"]) if "version" in bundle else 0
+                matrix = np.asarray(bundle["matrix"], dtype=np.float64)
+                digest = bytes(bundle["sha256"].item()).decode("ascii")
+        except Exception as exc:  # truncated npz raises BadZipFile/zlib.error
+            self._evict(path, f"unreadable ({exc})")
             return None
-        if (not isinstance(matrix, np.ndarray) or matrix.shape != (n, n)
-                or not np.isfinite(matrix).all()):
-            path.unlink(missing_ok=True)
+        if version != _CACHE_VERSION:
+            self._evict(path, f"version {version} != {_CACHE_VERSION}")
             return None
-        return matrix.astype(float)
+        if matrix.shape != (n, n) or not np.isfinite(matrix).all():
+            self._evict(path, f"bad matrix (shape {matrix.shape})")
+            return None
+        if digest != self._matrix_digest(matrix):
+            self._evict(path, "content checksum mismatch")
+            return None
+        return matrix
 
     def _compute(self, probabilities: np.ndarray) -> np.ndarray:
         if self.method == "fdm":
             from repro.tsv.fdm import FDMFieldSolver
 
+            fault_point("slow_solve", method=self.method)
             solver = FDMFieldSolver(
                 self.geometry,
                 probabilities=probabilities,

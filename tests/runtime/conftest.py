@@ -1,0 +1,21 @@
+"""Shared fixtures for the runtime chaos suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.power import PowerModel
+from repro.stats.switching import BitStatistics
+
+
+@pytest.fixture
+def model():
+    """A small fixed-matrix PowerModel (6 lines, correlated stream)."""
+    return make_model(6, seed=0)
+
+
+def make_model(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((300, n)) < rng.uniform(0.2, 0.8, n)).astype(np.uint8)
+    stats = BitStatistics.from_stream(bits)
+    matrix = rng.uniform(0.1, 1.0, (n, n)) * 1e-15
+    return PowerModel(stats, (matrix + matrix.T) / 2.0)

@@ -1,0 +1,130 @@
+"""Checkpoint artifact layer: envelope, checksums, atomicity, RNG round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.artifacts import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_SUFFIX,
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+    atomic_write_bytes,
+    encode_rng_state,
+    generator_from_state,
+    jsonify,
+    payload_digest,
+    restore_rng_state,
+)
+
+
+class TestJsonify:
+    def test_numpy_scalars_and_arrays(self):
+        payload = jsonify({
+            "i": np.int64(3),
+            "f": np.float64(0.25),
+            "b": np.bool_(True),
+            "a": np.arange(3),
+            "t": (1, 2),
+            "s": {2, 1},
+        })
+        assert payload == {
+            "i": 3, "f": 0.25, "b": True, "a": [0, 1, 2],
+            "t": [1, 2], "s": [1, 2],
+        }
+        # The result must be plain-json serializable.
+        json.dumps(payload)
+
+    def test_unserializable_raises(self):
+        with pytest.raises(CheckpointError):
+            jsonify(object())
+
+
+class TestRngRoundTrip:
+    def test_state_survives_json(self):
+        rng = np.random.default_rng(123)
+        rng.random(17)
+        state = json.loads(json.dumps(encode_rng_state(rng)))
+        fresh = np.random.default_rng(0)
+        restore_rng_state(fresh, state)
+        np.testing.assert_array_equal(rng.random(32), fresh.random(32))
+
+    def test_generator_from_state(self):
+        rng = np.random.default_rng(5)
+        rng.integers(0, 100, 9)
+        clone = generator_from_state(encode_rng_state(rng))
+        np.testing.assert_array_equal(
+            rng.integers(0, 1000, 16), clone.integers(0, 1000, 16)
+        )
+
+    def test_unknown_bit_generator_raises(self):
+        with pytest.raises(CheckpointError):
+            generator_from_state({"bit_generator": "NoSuchBitGen"})
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, kind="test", fingerprint={"n": 4})
+        payload = {"value": 0.1 + 0.2, "steps": [1, 2, 3]}
+        path = store.save("alpha", payload, step=7)
+        assert path.name == f"alpha{CHECKPOINT_SUFFIX}"
+        loaded = store.load("alpha")
+        assert isinstance(loaded, Checkpoint)
+        assert loaded.step == 7
+        # Floats round-trip exactly through the JSON envelope.
+        assert loaded.payload == payload
+
+    def test_envelope_fields(self, tmp_path):
+        store = CheckpointStore(tmp_path, kind="test")
+        path = store.save("a", {"x": 1})
+        document = json.loads(path.read_text())
+        assert document["format"] == CHECKPOINT_FORMAT
+        assert document["kind"] == "test"
+        assert document["sha256"] == payload_digest({"x": 1})
+
+    def test_corrupt_file_evicted(self, tmp_path, caplog):
+        store = CheckpointStore(tmp_path, kind="test")
+        path = store.save("a", {"x": 1})
+        path.write_text("{ truncated")
+        with caplog.at_level("WARNING", logger="repro.runtime"):
+            assert store.load("a") is None
+        assert not path.exists()
+        assert "evicting" in caplog.text
+
+    def test_checksum_mismatch_evicted(self, tmp_path):
+        store = CheckpointStore(tmp_path, kind="test")
+        path = store.save("a", {"x": 1})
+        document = json.loads(path.read_text())
+        document["payload"]["x"] = 2  # tampered, digest now stale
+        path.write_text(json.dumps(document))
+        assert store.load("a") is None
+        assert not path.exists()
+
+    def test_stale_fingerprint_ignored_not_evicted(self, tmp_path, caplog):
+        old = CheckpointStore(tmp_path, kind="test", fingerprint={"n": 4})
+        path = old.save("a", {"x": 1})
+        new = CheckpointStore(tmp_path, kind="test", fingerprint={"n": 5})
+        with caplog.at_level("WARNING", logger="repro.runtime"):
+            assert new.load("a") is None
+        assert path.exists()  # stale, not corrupt: kept for the old config
+        assert old.load("a") is not None
+
+    def test_wrong_kind_ignored(self, tmp_path):
+        CheckpointStore(tmp_path, kind="alpha").save("a", {"x": 1})
+        assert CheckpointStore(tmp_path, kind="beta").load("a") is None
+
+    def test_load_all_and_discard(self, tmp_path):
+        store = CheckpointStore(tmp_path, kind="test")
+        store.save("a", {"x": 1})
+        store.save("b", {"x": 2})
+        assert set(store.load_all()) == {"a", "b"}
+        store.discard("a")
+        assert set(store.load_all()) == {"b"}
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "deep" / "file.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert list(target.parent.glob("*.tmp")) == []

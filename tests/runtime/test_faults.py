@@ -1,0 +1,114 @@
+"""Fault-injection harness: spec parsing, activation, firing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    fault_point,
+    inject_faults,
+)
+
+
+class TestSpecParsing:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultPlan("chain_explode(0)")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            FaultPlan("chain_crash(0")
+
+    def test_chain_crash_needs_index(self):
+        with pytest.raises(ValueError, match="chain index"):
+            FaultPlan("chain_crash(once)")
+
+    def test_interrupt_at_needs_positive_count(self):
+        with pytest.raises(ValueError, match="got 0"):
+            FaultPlan("interrupt_at(0)")
+
+    def test_slow_solve_needs_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultPlan("slow_solve()")
+
+    def test_multi_entry_spec(self):
+        plan = FaultPlan("chain_crash(0, 2); slow_solve(0.0);interrupt_at(9)")
+        assert plan.active("chain_crash")
+        assert plan.active("slow_solve")
+        assert plan.active("interrupt_at")
+        assert not plan.active("cache_corrupt")
+
+    def test_empty_spec_is_inert(self):
+        plan = FaultPlan("")
+        for name in ("chain_crash", "cache_corrupt", "interrupt_at"):
+            assert not plan.active(name)
+
+
+class TestActivation:
+    def test_no_plan_by_default(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert active_plan() is None
+        fault_point("chain_crash", chain=0, attempt=0)  # no-op
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "chain_crash(3)")
+        plan = active_plan()
+        assert plan is not None and plan.active("chain_crash")
+        with pytest.raises(InjectedFault):
+            fault_point("chain_crash", chain=3, attempt=0)
+        # Other chains sail through.
+        fault_point("chain_crash", chain=1, attempt=0)
+
+    def test_context_manager_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV_VAR, "chain_crash(0)")
+        with inject_faults("slow_solve(0.0)") as plan:
+            assert active_plan() is plan
+            fault_point("chain_crash", chain=0, attempt=0)  # env masked
+        assert active_plan().active("chain_crash")
+
+    def test_context_manager_restores_previous(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        with inject_faults("slow_solve(0.0)") as outer:
+            with inject_faults("interrupt_at(1)"):
+                assert active_plan().active("interrupt_at")
+            assert active_plan() is outer
+        assert active_plan() is None
+
+
+class TestFiring:
+    def test_chain_crash_every_attempt(self):
+        plan = FaultPlan("chain_crash(1)")
+        for attempt in range(3):
+            with pytest.raises(InjectedFault):
+                plan.fire("chain_crash", chain=1, attempt=attempt)
+
+    def test_chain_crash_once_only_first_attempt(self):
+        plan = FaultPlan("chain_crash(1,once)")
+        with pytest.raises(InjectedFault):
+            plan.fire("chain_crash", chain=1, attempt=0)
+        plan.fire("chain_crash", chain=1, attempt=1)  # retry succeeds
+
+    def test_interrupt_at_counts_then_disarms(self):
+        plan = FaultPlan("interrupt_at(3)")
+        plan.fire("interrupt_at")
+        plan.fire("interrupt_at")
+        with pytest.raises(KeyboardInterrupt):
+            plan.fire("interrupt_at")
+        # Disarmed after firing: a resumed run is not re-interrupted.
+        for _ in range(5):
+            plan.fire("interrupt_at")
+
+    def test_cache_corrupt_truncates_budgeted_files(self, tmp_path):
+        plan = FaultPlan("cache_corrupt(1)")
+        first = tmp_path / "a.bin"
+        second = tmp_path / "b.bin"
+        payload = np.arange(64, dtype=np.uint8).tobytes()
+        first.write_bytes(payload)
+        second.write_bytes(payload)
+        plan.fire("cache_corrupt", path=first)
+        plan.fire("cache_corrupt", path=second)
+        assert len(first.read_bytes()) < len(payload)  # truncated
+        assert second.read_bytes() == payload  # budget exhausted

@@ -64,7 +64,7 @@ class TestExtractor:
         ex1 = CapacitanceExtractor(geom, method="fdm", resolution=0.5e-6,
                                    cache_dir=tmp_path)
         first = ex1.extract()
-        files = list(tmp_path.glob("cap_*.npy"))
+        files = list(tmp_path.glob("cap_*.npz"))
         assert len(files) == 1
         ex2 = CapacitanceExtractor(geom, method="fdm", resolution=0.5e-6,
                                    cache_dir=tmp_path)
@@ -75,7 +75,7 @@ class TestExtractor:
         ex = CapacitanceExtractor(geom, method="fdm", resolution=0.5e-6,
                                   cache_dir=tmp_path)
         reference = ex.extract()
-        cache_file = next(tmp_path.glob("cap_*.npy"))
+        cache_file = next(tmp_path.glob("cap_*.npz"))
         cache_file.write_bytes(b"garbage, not a numpy file")
         fresh = CapacitanceExtractor(geom, method="fdm", resolution=0.5e-6,
                                      cache_dir=tmp_path)
@@ -85,8 +85,9 @@ class TestExtractor:
         ex = CapacitanceExtractor(geom, method="fdm", resolution=0.5e-6,
                                   cache_dir=tmp_path)
         reference = ex.extract()
-        cache_file = next(tmp_path.glob("cap_*.npy"))
-        np.save(cache_file.with_suffix(""), np.ones((2, 3)))
+        cache_file = next(tmp_path.glob("cap_*.npz"))
+        bad = np.ones((2, 3))
+        ex._store_cached(cache_file, bad)  # valid bundle, wrong shape
         fresh = CapacitanceExtractor(geom, method="fdm", resolution=0.5e-6,
                                      cache_dir=tmp_path)
         np.testing.assert_allclose(fresh.extract(), reference)

@@ -57,6 +57,11 @@ ANNOTATED_MODULES = (
     "repro.runtime.artifacts",
     "repro.runtime.faults",
     "repro.runtime.supervision",
+    "repro.serve.codecs",
+    "repro.serve.metrics",
+    "repro.serve.session",
+    "repro.serve.engine",
+    "repro.serve.protocol",
 )
 
 SpecDict = Mapping[str, str]

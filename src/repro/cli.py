@@ -22,6 +22,16 @@ Subcommands
     non-zero when findings remain, so CI can gate on it. ``--deep`` adds
     the interprocedural shape/unit inference pass (``REP101`` ..
     ``REP104``), and ``--format sarif|github`` emits CI-native output.
+``serve``
+    Run the batched online encode/decode server for coded TSV links
+    (see ``docs/serving.md``) until interrupted. Links are created by
+    clients over the control channel.
+``stream``
+    Client-side verb: connect to a running server, create a coded link
+    (geometry + codec chain) if needed, stream words through it, and
+    print throughput, latency percentiles and the server's live
+    coded-vs-uncoded energy report. ``--verify`` round-trips the coded
+    words back through the server and checks bit-exactness.
 """
 
 from __future__ import annotations
@@ -253,6 +263,93 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args.paths, output_format=args.format, deep=args.deep)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import BatchPolicy, LinkServer
+
+    policy = BatchPolicy(
+        window_s=args.window_ms * 1e-3,
+        max_batch_words=args.max_batch_words,
+        max_batch_requests=args.max_batch_requests,
+        queue_limit=args.queue_limit,
+    )
+
+    async def run() -> None:
+        server = LinkServer(policy=policy, max_workers=args.workers)
+        await server.start(host=args.host, port=args.port, path=args.unix)
+        address = server.address
+        if isinstance(address, tuple):
+            print(f"serving on {address[0]}:{address[1]}", flush=True)
+        else:
+            print(f"serving on {address}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve import LinkClient
+
+    with LinkClient.connect(args.connect) as client:
+        if args.link not in client.ping():
+            config = {
+                "width": args.width,
+                "geometry": {
+                    "rows": args.rows, "cols": args.cols,
+                    "pitch": args.pitch * 1e-6,
+                    "radius": args.radius * 1e-6,
+                },
+                "codecs": list(args.codec),
+                "cap_method": args.cap_method,
+            }
+            info = client.create_link(args.link, config)
+            print(f"# created link {args.link!r}: {info['width_in']} payload "
+                  f"bits -> {info['width_out']} coded bits on "
+                  f"{info['n_lines']} TSVs")
+        words = np.random.default_rng(args.seed).integers(
+            0, 1 << args.width, args.samples
+        )
+        start = time.perf_counter()
+        coded = client.stream(
+            args.link, words,
+            chunk_words=args.chunk_words, max_in_flight=args.in_flight,
+        )
+        elapsed = time.perf_counter() - start
+        print(f"encoded {len(words)} words in {elapsed:.3f} s "
+              f"({len(words) / elapsed:,.0f} words/s)")
+        if args.verify:
+            back = client.stream(
+                args.link, coded, op="decode",
+                chunk_words=args.chunk_words, max_in_flight=args.in_flight,
+            )
+            if (back == words).all():
+                print("round-trip: OK (bit-exact)")
+            else:
+                print("round-trip: MISMATCH", file=sys.stderr)
+                return 1
+        stats = client.stats(args.link)
+        latency = stats["metrics"]["latency"]
+        energy = stats["energy"]
+        print(f"server: {stats['metrics']['batches']} batches, "
+              f"p50={latency['p50_s'] * 1e6:.0f} us  "
+              f"p95={latency['p95_s'] * 1e6:.0f} us  "
+              f"p99={latency['p99_s'] * 1e6:.0f} us")
+        coded_mw = energy["coded"]["power_mw"]
+        uncoded_mw = energy["uncoded"]["power_mw"]
+        if energy["savings"] is not None:
+            print(f"energy: coded {coded_mw:.4f} mW vs uncoded "
+                  f"{uncoded_mw:.4f} mW -> savings "
+                  f"{energy['savings'] * 100:.2f} %")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tsv",
@@ -337,6 +434,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the interprocedural shape/unit inference pass",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the batched online encode/decode server for coded links",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral, printed at start)")
+    p_serve.add_argument("--unix", default=None, metavar="PATH",
+                         help="listen on a unix socket instead of TCP")
+    p_serve.add_argument("--window-ms", type=float, default=2.0,
+                         help="micro-batch coalescing window [ms]")
+    p_serve.add_argument("--max-batch-words", type=int, default=65536)
+    p_serve.add_argument("--max-batch-requests", type=int, default=128)
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         help="per-link queue bound (full queue sheds)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="batch worker threads")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="stream words through a running serve instance and report",
+    )
+    p_stream.add_argument("--connect", required=True,
+                          help="server address: host:port or unix path")
+    p_stream.add_argument("--link", default="cli",
+                          help="link id (created if it does not exist)")
+    _add_geometry_arguments(p_stream)
+    p_stream.add_argument("--width", type=int, default=8,
+                          help="payload word width [bits]")
+    p_stream.add_argument(
+        "--codec", action="append", default=[],
+        help="codec spec, repeatable, applied in order "
+             "(e.g. --codec correlator:n_channels=4 --codec gray:negated)",
+    )
+    p_stream.add_argument("--samples", type=int, default=100000,
+                          help="number of words to stream")
+    p_stream.add_argument("--seed", type=int, default=2018)
+    p_stream.add_argument("--chunk-words", type=int, default=4096)
+    p_stream.add_argument("--in-flight", type=int, default=32,
+                          help="max pipelined chunks")
+    p_stream.add_argument("--verify", action="store_true",
+                          help="decode the coded words back and compare")
+    p_stream.set_defaults(func=cmd_stream)
     return parser
 
 

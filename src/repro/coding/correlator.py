@@ -17,10 +17,18 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Widest word the int64 codecs support: bit ``width`` must still be
+#: addressable (the invert codes put a flag there) and ``1 << width``
+#: must not overflow a signed 64-bit transport word.
+MAX_WORD_WIDTH = 62
+
 
 def _check(words: np.ndarray, width: int, n_channels: int) -> np.ndarray:
-    if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
+    if not 1 <= width <= MAX_WORD_WIDTH:
+        raise ValueError(
+            f"width must be in 1..{MAX_WORD_WIDTH} (int64 word transport), "
+            f"got {width}"
+        )
     if n_channels < 1:
         raise ValueError(f"n_channels must be >= 1, got {n_channels}")
     words = np.asarray(words)

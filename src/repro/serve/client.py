@@ -1,0 +1,244 @@
+"""Synchronous pipelining client for the link server.
+
+:class:`LinkClient` speaks :mod:`repro.serve.protocol` over a TCP or
+unix socket from ordinary blocking code (examples, benchmarks, CLI). It
+pipelines: requests carry client-chosen ids and responses are matched by
+id, so :meth:`stream` keeps a window of chunks in flight instead of
+paying a round trip per chunk.
+
+Server-side failures surface as the *matching engine exception* when one
+exists (:class:`~repro.serve.engine.OverloadedError`,
+:class:`~repro.serve.engine.DeadlineExceededError`, ...) and as a generic
+:class:`ServeError` otherwise, so client code handles overload and
+deadline pressure with the same ``except`` clauses whether the engine is
+in-process or across a socket.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve import engine as _engine
+from repro.serve.protocol import (
+    payload_to_words,
+    read_frame_blocking,
+    words_to_payload,
+    write_frame_blocking,
+)
+from repro.serve.session import LinkConfig
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServeError(RuntimeError):
+    """A server-reported failure with no local exception class.
+
+    Attributes
+    ----------
+    error:
+        Exception class name reported by the server.
+    """
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+
+
+#: Server-side error names that map back onto local exception classes.
+_ERROR_CLASSES: Dict[str, type] = {
+    "UnknownLinkError": _engine.UnknownLinkError,
+    "OverloadedError": _engine.OverloadedError,
+    "DeadlineExceededError": _engine.DeadlineExceededError,
+    "EngineClosedError": _engine.EngineClosedError,
+}
+
+
+def _raise_server_error(header: Dict[str, Any]) -> None:
+    error = str(header.get("error", "ServeError"))
+    message = str(header.get("message", ""))
+    cls = _ERROR_CLASSES.get(error)
+    if cls is not None:
+        raise cls(message)
+    raise ServeError(error, message)
+
+
+class LinkClient:
+    """One connection to a :class:`~repro.serve.server.LinkServer`.
+
+    Not thread-safe: one client per thread (the server happily accepts
+    many connections).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+        self._parked: Dict[int, Tuple[Dict[str, Any], bytes]] = {}
+
+    @classmethod
+    def connect(
+        cls, address: Address, timeout: Optional[float] = 30.0
+    ) -> "LinkClient":
+        """Connect to ``(host, port)``, ``"host:port"`` or a unix path."""
+        if isinstance(address, tuple):
+            sock = socket.create_connection(address, timeout=timeout)
+        elif ":" in address:
+            host, _, port = address.rpartition(":")
+            sock = socket.create_connection(
+                (host, int(port)), timeout=timeout
+            )
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(address)
+        if sock.family != socket.AF_UNIX:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "LinkClient":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    # -- framing ------------------------------------------------------------
+
+    def _send(self, header: Dict[str, Any], payload: bytes = b"") -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        header = dict(header, id=request_id)
+        write_frame_blocking(self._file, header, payload)
+        return request_id
+
+    def _receive(self, request_id: int) -> Tuple[Dict[str, Any], bytes]:
+        """The response to ``request_id``, parking out-of-order arrivals."""
+        while request_id not in self._parked:
+            header, payload = read_frame_blocking(self._file)
+            self._parked[int(header.get("id", -1))] = (header, payload)
+        header, payload = self._parked.pop(request_id)
+        if not header.get("ok"):
+            _raise_server_error(header)
+        return header, payload
+
+    def _call(
+        self, header: Dict[str, Any], payload: bytes = b""
+    ) -> Tuple[Dict[str, Any], bytes]:
+        return self._receive(self._send(header, payload))
+
+    # -- control plane ------------------------------------------------------
+
+    def ping(self) -> List[str]:
+        """Server liveness check; returns the served link ids."""
+        header, _ = self._call({"op": "ping"})
+        return [str(x) for x in header.get("links", [])]
+
+    def create_link(
+        self, link: str, config: Union[LinkConfig, Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Create a link from a :class:`LinkConfig` (or its dict form)."""
+        spec = config.to_dict() if isinstance(config, LinkConfig) else config
+        header, _ = self._call(
+            {"op": "create_link", "link": link, "config": spec}
+        )
+        return header.get("info", {})
+
+    def drop_link(self, link: str) -> None:
+        self._call({"op": "drop_link", "link": link})
+
+    def reset(self, link: str) -> None:
+        """Restart the link's stream (codec histories, energy accounts)."""
+        self._call({"op": "reset", "link": link})
+
+    def stats(self, link: Optional[str] = None) -> Dict[str, Any]:
+        header, _ = self._call(
+            {"op": "stats"} if link is None else {"op": "stats", "link": link}
+        )
+        return header.get("stats", {})
+
+    # -- data plane ---------------------------------------------------------
+
+    def encode(
+        self,
+        link: str,
+        words: np.ndarray,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Encode one chunk (single request, single response)."""
+        return self._data("encode", link, words, deadline_s)
+
+    def decode(
+        self,
+        link: str,
+        words: np.ndarray,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Decode one chunk (single request, single response)."""
+        return self._data("decode", link, words, deadline_s)
+
+    def _data(
+        self,
+        op: str,
+        link: str,
+        words: np.ndarray,
+        deadline_s: Optional[float],
+    ) -> np.ndarray:
+        header: Dict[str, Any] = {"op": op, "link": link}
+        if deadline_s is not None:
+            header["deadline_s"] = float(deadline_s)
+        _, payload = self._call(header, words_to_payload(words))
+        return payload_to_words(payload)
+
+    def stream(
+        self,
+        link: str,
+        words: np.ndarray,
+        op: str = "encode",
+        chunk_words: int = 4096,
+        max_in_flight: int = 32,
+        deadline_s: Optional[float] = None,
+    ) -> np.ndarray:
+        """Push a long stream through the link with pipelined chunks.
+
+        Splits ``words`` into ``chunk_words``-sized requests and keeps up
+        to ``max_in_flight`` of them outstanding; the result is the
+        concatenated responses in stream order (codec chunk invariance
+        makes it bit-identical to one giant request).
+        """
+        if chunk_words < 1:
+            raise ValueError(f"chunk_words must be >= 1, got {chunk_words}")
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        words = np.asarray(words)
+        header: Dict[str, Any] = {"op": op, "link": link}
+        if deadline_s is not None:
+            header["deadline_s"] = float(deadline_s)
+        pending: List[int] = []
+        results: List[np.ndarray] = []
+
+        def harvest() -> None:
+            _, payload = self._receive(pending.pop(0))
+            results.append(payload_to_words(payload))
+
+        for start in range(0, len(words), chunk_words):
+            chunk = words[start:start + chunk_words]
+            while len(pending) >= max_in_flight:
+                harvest()
+            pending.append(
+                self._send(header, words_to_payload(chunk))
+            )
+        while pending:
+            harvest()
+        if not results:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(results)

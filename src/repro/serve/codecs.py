@@ -1,0 +1,606 @@
+"""Stateful streaming codecs over the offline :mod:`repro.coding` transforms.
+
+The offline functions transform a complete word stream at once; a serving
+link sees the same stream in arbitrary request-sized chunks. Each codec
+here carries exactly the history its scheme needs across chunk boundaries
+(the correlator's previous same-channel words, the invert codes' last
+transmitted bus state) so that
+
+* **chunk invariance** holds: encoding a stream chunk by chunk, under any
+  split, is bit-identical to the offline transform of the whole stream;
+* **exact inversion** holds: ``decode(encode(x)) == x`` for every codec
+  and every chain of codecs, with the decode side keeping its own
+  independent history (one codec instance can serve both directions of
+  the same link).
+
+Invert-code flags travel *in band*: the flag occupies bit ``width`` of
+the coded word (the MSB-adjacent line, matching
+:func:`repro.coding.businvert.coded_bit_stream`), so every codec is a
+plain ``words -> words`` map and codecs compose into a
+:class:`CodecChain`.
+
+Codecs are built from JSON-able *specs* (``{"kind": "gray",
+"negated": true}``); :func:`parse_codec_spec` additionally accepts the
+CLI shorthand ``"correlator:channels=4,negated"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.businvert import coupling_transition_cost
+from repro.tsv.geometry import TSVArrayGeometry
+
+#: Widest word the int64 codecs support; wider streams must be split
+#: across links (see the width guard in ``repro.coding``).
+MAX_WORD_WIDTH = 62
+
+#: Widest bus for which the coupling-invert codec precomputes its
+#: transition-cost table (``(2^(w+1))^2`` int8 entries; 10 lines = 1 MiB).
+_MAX_COST_TABLE_LINES = 10
+
+
+def _check_words(words: np.ndarray, width: int) -> np.ndarray:
+    """Validate a 1-D unsigned word chunk for ``width``-bit transport."""
+    if not 1 <= width <= MAX_WORD_WIDTH:
+        raise ValueError(
+            f"width must be in 1..{MAX_WORD_WIDTH}, got {width}"
+        )
+    words = np.asarray(words)
+    if words.ndim != 1:
+        raise ValueError(f"word stream must be 1-D, got {words.ndim}-D")
+    if not np.issubdtype(words.dtype, np.integer):
+        raise ValueError(f"word stream must be integer, got {words.dtype}")
+    words = words.astype(np.int64)
+    if len(words) and ((words < 0) | (words >= (1 << width))).any():
+        raise ValueError(f"words outside unsigned range for width {width}")
+    return words
+
+
+class StreamCodec:
+    """One stage of a streaming codec chain.
+
+    Concrete codecs define :attr:`width_in`/:attr:`width_out` (payload and
+    coded word widths) and implement chunk-wise :meth:`encode` /
+    :meth:`decode`. Encode-side and decode-side history are independent.
+    """
+
+    #: Spec ``kind`` of this codec (registry key).
+    kind: str = ""
+
+    def __init__(self, width_in: int, width_out: int) -> None:
+        self.width_in = int(width_in)
+        self.width_out = int(width_out)
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop both directions' histories (start of a new stream)."""
+
+    def spec(self) -> Dict[str, object]:
+        """The JSON-able spec reconstructing this codec."""
+        return {"kind": self.kind}
+
+
+class GrayCodec(StreamCodec):
+    """Binary <-> Gray conversion; stateless (``y = x ^ (x >> 1)``).
+
+    ``negated=True`` is the paper's Sec. 6 XNOR variant.
+    """
+
+    kind = "gray"
+
+    def __init__(self, width: int, negated: bool = False) -> None:
+        super().__init__(width, width)
+        self.negated = bool(negated)
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        from repro.coding.gray import gray_encode_words
+
+        return gray_encode_words(
+            _check_words(words, self.width_in), self.width_in,
+            negated=self.negated,
+        )
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        from repro.coding.gray import gray_decode_words
+
+        return gray_decode_words(
+            _check_words(words, self.width_out), self.width_out,
+            negated=self.negated,
+        )
+
+    def spec(self) -> Dict[str, object]:
+        return {"kind": self.kind, "negated": self.negated}
+
+
+class CorrelatorCodec(StreamCodec):
+    """Temporal XOR (de)correlator with per-channel history (paper Sec. 7).
+
+    Each word is XORed with the previous word of the same mux channel;
+    the overall first word of each channel passes through unchanged (and,
+    with ``negated=True``, un-negated — matching
+    :func:`repro.coding.correlator.correlate_words` on the whole stream).
+    """
+
+    kind = "correlator"
+
+    def __init__(
+        self, width: int, n_channels: int = 1, negated: bool = False
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+        super().__init__(width, width)
+        self.n_channels = int(n_channels)
+        self.negated = bool(negated)
+        self.reset()
+
+    def reset(self) -> None:
+        nc = self.n_channels
+        self._enc_prev = np.zeros(nc, dtype=np.int64)
+        self._enc_primed = np.zeros(nc, dtype=bool)
+        self._enc_phase = 0
+        self._dec_prev = np.zeros(nc, dtype=np.int64)
+        self._dec_primed = np.zeros(nc, dtype=bool)
+        self._dec_phase = 0
+
+    def _channel_slices(self, phase: int, length: int) -> List[Tuple[int, np.ndarray]]:
+        """Per-channel local index arrays for a chunk at ``phase``."""
+        out = []
+        for channel in range(self.n_channels):
+            first = (channel - phase) % self.n_channels
+            if first < length:
+                out.append(
+                    (channel, np.arange(first, length, self.n_channels))
+                )
+        return out
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        words = _check_words(words, self.width_in)
+        length = len(words)
+        if length == 0:
+            return words
+        nc = self.n_channels
+        mask = (1 << self.width_in) - 1
+        prev = np.empty(length, dtype=np.int64)
+        fresh = np.zeros(length, dtype=bool)
+        head = min(nc, length)
+        for i in range(head):
+            channel = (self._enc_phase + i) % nc
+            if self._enc_primed[channel]:
+                prev[i] = self._enc_prev[channel]
+            else:
+                prev[i] = 0
+                fresh[i] = True
+        if length > nc:
+            prev[nc:] = words[:-nc]
+        out = words ^ prev
+        if self.negated:
+            out[~fresh] ^= mask
+        # The last word of each channel becomes that channel's history.
+        for channel, idx in self._channel_slices(self._enc_phase, length):
+            self._enc_prev[channel] = words[idx[-1]]
+            self._enc_primed[channel] = True
+        self._enc_phase = (self._enc_phase + length) % nc
+        return out
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        coded = _check_words(coded, self.width_out)
+        length = len(coded)
+        if length == 0:
+            return coded
+        mask = (1 << self.width_out) - 1
+        out = np.empty(length, dtype=np.int64)
+        # Decoding is a per-channel running XOR of the (un-negated) coded
+        # words: ``x[t] = y'[t] ^ x[t-nc]`` telescopes to an XOR prefix
+        # scan with the stored channel history as carry-in.
+        for channel, idx in self._channel_slices(self._dec_phase, length):
+            values = coded[idx].copy()
+            if self._dec_primed[channel]:
+                if self.negated:
+                    values ^= mask
+                values[0] ^= self._dec_prev[channel]
+            elif self.negated:
+                values[1:] ^= mask
+            decoded = np.bitwise_xor.accumulate(values)
+            out[idx] = decoded
+            self._dec_prev[channel] = decoded[-1]
+            self._dec_primed[channel] = True
+        self._dec_phase = (self._dec_phase + length) % self.n_channels
+        return out
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "n_channels": self.n_channels,
+            "negated": self.negated,
+        }
+
+
+class BusInvertCodec(StreamCodec):
+    """Classic bus-invert with the flag in band on line ``width``.
+
+    The per-word decision (invert when the Hamming distance to the
+    previously *transmitted* word exceeds ``width / 2``) is inherently
+    sequential; a precomputed popcount table keeps the Python loop lean.
+    """
+
+    kind = "businvert"
+
+    def __init__(self, width: int) -> None:
+        if width >= MAX_WORD_WIDTH:
+            raise ValueError(
+                f"bus-invert adds a flag line; width must be < "
+                f"{MAX_WORD_WIDTH}, got {width}"
+            )
+        super().__init__(width, width + 1)
+        self._popcount = np.bitwise_count(
+            np.arange(1 << width, dtype=np.uint64)
+        ).astype(np.int64)
+        self.reset()
+
+    def reset(self) -> None:
+        self._enc_prev = 0  # previously transmitted data word
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        words = _check_words(words, self.width_in)
+        width = self.width_in
+        mask = (1 << width) - 1
+        half = width / 2.0
+        popcount = self._popcount
+        out = np.empty(len(words), dtype=np.int64)
+        previous = self._enc_prev
+        flag_bit = 1 << width
+        for t, word in enumerate(map(int, words)):
+            if popcount[previous ^ word] > half:
+                previous = word ^ mask
+                out[t] = previous | flag_bit
+            else:
+                previous = word
+                out[t] = word
+        self._enc_prev = previous
+        return out
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        coded = _check_words(coded, self.width_out)
+        width = self.width_in
+        mask = (1 << width) - 1
+        flags = coded >> width
+        return (coded & mask) ^ (flags * mask)
+
+    def spec(self) -> Dict[str, object]:
+        return {"kind": self.kind}
+
+
+def _coupling_cost_table(n_lines: int) -> np.ndarray:
+    """All-pairs planar coupling costs for an ``n_lines``-bit bus state.
+
+    ``table[prev, cur]`` equals
+    :func:`repro.coding.businvert.coupling_transition_cost` — adjacent
+    wires toggling in opposite directions cost 2, a lone toggle next to a
+    quiet wire costs 1, everything else is free.
+    """
+    size = 1 << n_lines
+    shifts = np.arange(n_lines, dtype=np.int64)
+    prev_bits = ((np.arange(size, dtype=np.int64)[:, None] >> shifts) & 1)
+    delta = (
+        prev_bits[None, :, :].astype(np.int8)
+        - prev_bits[:, None, :].astype(np.int8)
+    )
+    da, db = delta[:, :, :-1], delta[:, :, 1:]
+    opposite = (da.astype(np.int16) * db.astype(np.int16)) == -1
+    lone = (da != 0) ^ (db != 0)
+    return (2 * opposite + lone).sum(axis=2, dtype=np.int64)
+
+
+class CouplingInvertCodec(StreamCodec):
+    """Coupling-driven invert (the paper's NoC code, ref [24]), flag in band.
+
+    Minimizes the planar crosstalk cost of each bus transition, counting
+    the flag wire adjacent to the MSB exactly as
+    :func:`repro.coding.businvert.coupling_invert_encode` does. For buses
+    up to ``_MAX_COST_TABLE_LINES`` lines the decision uses a precomputed
+    cost table; wider buses fall back to the reference cost function.
+    """
+
+    kind = "couplinginvert"
+
+    def __init__(self, width: int) -> None:
+        if width >= MAX_WORD_WIDTH:
+            raise ValueError(
+                f"coupling-invert adds a flag line; width must be < "
+                f"{MAX_WORD_WIDTH}, got {width}"
+            )
+        super().__init__(width, width + 1)
+        self._table: Optional[np.ndarray] = None
+        if width + 1 <= _MAX_COST_TABLE_LINES:
+            self._table = _coupling_cost_table(width + 1)
+        self.reset()
+
+    def reset(self) -> None:
+        self._enc_prev = 0  # bus state including the flag as bit `width`
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        words = _check_words(words, self.width_in)
+        width = self.width_in
+        mask = (1 << width) - 1
+        flag_bit = 1 << width
+        out = np.empty(len(words), dtype=np.int64)
+        previous = self._enc_prev
+        table = self._table
+        if table is not None:
+            for t, word in enumerate(map(int, words)):
+                row = table[previous]
+                inverted = (word ^ mask) | flag_bit
+                if row[inverted] < row[word]:
+                    previous = inverted
+                else:
+                    previous = word
+                out[t] = previous
+        else:  # pragma: no cover - exercised only on very wide buses
+            for t, word in enumerate(map(int, words)):
+                inverted = (word ^ mask) | flag_bit
+                if (coupling_transition_cost(previous, inverted, width + 1)
+                        < coupling_transition_cost(previous, word, width + 1)):
+                    previous = inverted
+                else:
+                    previous = word
+                out[t] = previous
+        self._enc_prev = previous
+        return out
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        coded = _check_words(coded, self.width_out)
+        width = self.width_in
+        mask = (1 << width) - 1
+        flags = coded >> width
+        return (coded & mask) ^ (flags * mask)
+
+    def spec(self) -> Dict[str, object]:
+        return {"kind": self.kind}
+
+
+class CacCodec(StreamCodec):
+    """Crosstalk-avoidance codebook lookup for one TSV array geometry.
+
+    Builds (and caches per geometry) the greedy LAT codebook of
+    :func:`repro.coding.cac.build_lat_codebook`; payloads map to codeword
+    integers over all ``n_tsvs`` lines. Stateless; decode of a
+    non-codeword raises :class:`ValueError`.
+    """
+
+    kind = "cac"
+
+    _codebook_cache: Dict[tuple, object] = {}
+    _cache_lock = threading.Lock()
+
+    def __init__(
+        self, geometry: TSVArrayGeometry, include_diagonal: bool = False
+    ) -> None:
+        from repro.coding.cac import build_lat_codebook
+
+        key = (geometry.cache_key(), bool(include_diagonal))
+        with self._cache_lock:
+            codebook = self._codebook_cache.get(key)
+            if codebook is None:
+                codebook = build_lat_codebook(
+                    geometry, include_diagonal=include_diagonal
+                )
+                self._codebook_cache[key] = codebook
+        if codebook.payload_bits < 1:
+            raise ValueError("codebook carries no payload bits")
+        super().__init__(codebook.payload_bits, codebook.n_lines)
+        self.codebook = codebook
+        self.include_diagonal = bool(include_diagonal)
+        self._table = np.asarray(codebook.codewords, dtype=np.int64)
+        self._inverse = np.full(1 << codebook.n_lines, -1, dtype=np.int64)
+        self._inverse[self._table] = np.arange(
+            len(codebook.codewords), dtype=np.int64
+        )
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        words = _check_words(words, self.width_in)
+        return self._table[words]
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        coded = _check_words(coded, self.width_out)
+        payload = self._inverse[coded]
+        if (payload < 0).any():
+            bad = coded[payload < 0][0]
+            raise ValueError(f"not a codeword: {int(bad)}")
+        # Table order assigns payloads beyond 2**payload_bits to the
+        # greedy surplus codewords; transport never emits them.
+        return payload
+
+    def spec(self) -> Dict[str, object]:
+        return {"kind": self.kind, "include_diagonal": self.include_diagonal}
+
+
+#: Codec registry: spec ``kind`` -> constructor wrapper.
+CODEC_KINDS = ("gray", "correlator", "businvert", "couplinginvert", "cac")
+
+
+def build_codec(
+    spec: Mapping[str, object],
+    width_in: int,
+    geometry: Optional[TSVArrayGeometry] = None,
+) -> StreamCodec:
+    """Build one codec from its JSON-able spec at a given input width."""
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"codec spec must be a mapping, got {type(spec)}")
+    fields = dict(spec)
+    kind = fields.pop("kind", None)
+    if kind == "gray":
+        codec: StreamCodec = GrayCodec(
+            width_in, negated=bool(fields.pop("negated", False))
+        )
+    elif kind == "correlator":
+        codec = CorrelatorCodec(
+            width_in,
+            n_channels=int(fields.pop("n_channels", 1)),
+            negated=bool(fields.pop("negated", False)),
+        )
+    elif kind == "businvert":
+        codec = BusInvertCodec(width_in)
+    elif kind == "couplinginvert":
+        codec = CouplingInvertCodec(width_in)
+    elif kind == "cac":
+        if geometry is None:
+            raise ValueError("cac codec needs the link geometry")
+        codec = CacCodec(
+            geometry,
+            include_diagonal=bool(fields.pop("include_diagonal", False)),
+        )
+        if codec.width_in != width_in:
+            raise ValueError(
+                f"cac codebook on this geometry carries {codec.width_in} "
+                f"payload bits, but the chain arrives with {width_in}"
+            )
+    else:
+        raise ValueError(
+            f"unknown codec kind {kind!r}; known: {CODEC_KINDS}"
+        )
+    if fields:
+        raise ValueError(
+            f"unknown {kind} codec options: {sorted(fields)}"
+        )
+    return codec
+
+
+class CodecChain:
+    """An ordered stack of streaming codecs applied payload -> line side.
+
+    ``encode`` folds the chunk through every codec in order; ``decode``
+    unwinds in reverse. Chunk invariance and exact inversion compose.
+    """
+
+    def __init__(self, codecs: Sequence[StreamCodec], width_in: int) -> None:
+        self.codecs = list(codecs)
+        self.width_in = int(width_in)
+        width = int(width_in)
+        for codec in self.codecs:
+            if codec.width_in != width:
+                raise ValueError(
+                    f"codec {codec.kind} expects width {codec.width_in}, "
+                    f"chain arrives with {width}"
+                )
+            width = codec.width_out
+        self.width_out = width
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        out = _check_words(words, self.width_in)
+        for codec in self.codecs:
+            out = codec.encode(out)
+        return out
+
+    def decode(self, words: np.ndarray) -> np.ndarray:
+        out = _check_words(words, self.width_out)
+        for codec in reversed(self.codecs):
+            out = codec.decode(out)
+        return out
+
+    def reset(self) -> None:
+        for codec in self.codecs:
+            codec.reset()
+
+    def specs(self) -> List[Dict[str, object]]:
+        return [codec.spec() for codec in self.codecs]
+
+
+def build_chain(
+    specs: Sequence[Mapping[str, object]],
+    width_in: int,
+    geometry: Optional[TSVArrayGeometry] = None,
+) -> CodecChain:
+    """Build a :class:`CodecChain` from a list of codec specs."""
+    codecs: List[StreamCodec] = []
+    width = int(width_in)
+    for spec in specs:
+        codec = build_codec(spec, width, geometry=geometry)
+        codecs.append(codec)
+        width = codec.width_out
+    return CodecChain(codecs, width_in)
+
+
+def parse_codec_spec(text: str) -> Dict[str, object]:
+    """Parse the CLI shorthand ``kind[:opt[=value],...]`` into a spec dict.
+
+    ``"gray:negated"`` -> ``{"kind": "gray", "negated": True}``;
+    ``"correlator:n_channels=4,negated"`` sets integer options by value.
+    """
+    head, _, rest = text.strip().partition(":")
+    if not head:
+        raise ValueError("empty codec spec")
+    spec: Dict[str, object] = {"kind": head}
+    if rest:
+        for token in rest.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, _, value = token.partition("=")
+            if not _:
+                spec[key] = True
+            elif value.lower() in ("true", "false"):
+                spec[key] = value.lower() == "true"
+            else:
+                spec[key] = int(value)
+    return spec
+
+
+#: Shape/unit signatures for the deep-lint flow pass (see
+#: ``docs/static_analysis.md``). ``T`` = chunk samples.
+REPRO_SIGNATURES = {
+    "GrayCodec": {"width": "scalar dimensionless", "negated": "any"},
+    "GrayCodec.encode": {"words": "(T,) dimensionless",
+                         "return": "(T,) dimensionless"},
+    "GrayCodec.decode": {"words": "(T,) dimensionless",
+                         "return": "(T,) dimensionless"},
+    "CorrelatorCodec": {
+        "width": "scalar dimensionless",
+        "n_channels": "scalar dimensionless",
+        "negated": "any",
+    },
+    "CorrelatorCodec.encode": {"words": "(T,) dimensionless",
+                               "return": "(T,) dimensionless"},
+    "CorrelatorCodec.decode": {"coded": "(T,) dimensionless",
+                               "return": "(T,) dimensionless"},
+    "BusInvertCodec": {"width": "scalar dimensionless"},
+    "BusInvertCodec.encode": {"words": "(T,) dimensionless",
+                              "return": "(T,) dimensionless"},
+    "BusInvertCodec.decode": {"coded": "(T,) dimensionless",
+                              "return": "(T,) dimensionless"},
+    "CouplingInvertCodec": {"width": "scalar dimensionless"},
+    "CouplingInvertCodec.encode": {"words": "(T,) dimensionless",
+                                   "return": "(T,) dimensionless"},
+    "CouplingInvertCodec.decode": {"coded": "(T,) dimensionless",
+                                   "return": "(T,) dimensionless"},
+    "CacCodec": {"geometry": "TSVArrayGeometry", "include_diagonal": "any"},
+    "CacCodec.encode": {"words": "(T,) dimensionless",
+                        "return": "(T,) dimensionless"},
+    "CacCodec.decode": {"coded": "(T,) dimensionless",
+                        "return": "(T,) dimensionless"},
+    "CodecChain.encode": {"words": "(T,) dimensionless",
+                          "return": "(T,) dimensionless"},
+    "CodecChain.decode": {"words": "(T,) dimensionless",
+                          "return": "(T,) dimensionless"},
+    "build_codec": {
+        "spec": "any",
+        "width_in": "scalar dimensionless",
+        "geometry": "TSVArrayGeometry",
+        "return": "StreamCodec",
+    },
+    "build_chain": {
+        "specs": "any",
+        "width_in": "scalar dimensionless",
+        "geometry": "TSVArrayGeometry",
+        "return": "CodecChain",
+    },
+    "parse_codec_spec": {"text": "any"},
+}

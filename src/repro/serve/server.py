@@ -1,0 +1,349 @@
+"""Asyncio link server speaking the :mod:`repro.serve.protocol` framing.
+
+:class:`LinkServer` accepts TCP or unix-socket connections, parses frames
+and drives a shared :class:`~repro.serve.engine.ServeEngine`. The read
+loop enqueues ``encode``/``decode`` requests *synchronously* (stream
+order = arrival order, see :meth:`ServeEngine.enqueue`) and answers each
+one from a detached task as its batch completes, so a pipelining client
+is never serialized on the slowest batch; control ops (``create_link``,
+``stats``, ...) are answered inline.
+
+:class:`BackgroundServer` runs a :class:`LinkServer` on a private event
+loop in a daemon thread — the shape tests, benchmarks and examples use
+to talk to a *real* server over a real socket from ordinary synchronous
+code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.engine import BatchPolicy, ServeEngine, ServeEngineError
+from repro.serve.protocol import (
+    ProtocolError,
+    payload_to_words,
+    read_frame,
+    words_to_payload,
+    write_frame,
+)
+from repro.serve.session import LinkConfig, LinkConfigError, LinkSession
+
+logger = logging.getLogger("repro.serve")
+
+#: ``op`` values the server answers.
+OPS = (
+    "ping", "create_link", "drop_link", "encode", "decode", "stats", "reset"
+)
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert NumPy scalars/arrays for JSON serialization."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    return value
+
+
+class LinkServer:
+    """One engine behind one listening socket (TCP or unix)."""
+
+    def __init__(
+        self,
+        engine: Optional[ServeEngine] = None,
+        policy: Optional[BatchPolicy] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.engine = engine or ServeEngine(
+            policy=policy, max_workers=max_workers
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.address: Optional[Union[Tuple[str, int], str]] = None
+
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: Optional[str] = None,
+    ) -> None:
+        """Listen on ``path`` (unix socket) or ``host:port`` (TCP).
+
+        ``port=0`` binds an ephemeral port; :attr:`address` holds the
+        actual endpoint either way.
+        """
+        if path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=path
+            )
+            self.address = path
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host, port=port
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.address = (sockname[0], sockname[1])
+        logger.info("serving coded links on %s", self.address)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.engine.close()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks = set()
+
+        async def reply(
+            header: Dict[str, Any], payload: bytes = b""
+        ) -> None:
+            async with write_lock:
+                await write_frame(writer, header, payload)
+
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(reader)
+                except EOFError:
+                    break
+                task = self._dispatch(header, payload, reply)
+                if task is not None:
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+        except (ProtocolError, ConnectionResetError) as exc:
+            logger.warning("dropping connection: %s", exc)
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(
+        self, header: Dict[str, Any], payload: bytes, reply: Any
+    ) -> Optional["asyncio.Task[None]"]:
+        """Handle one request frame; returns the detached response task.
+
+        Data-plane requests are enqueued synchronously *here*, in frame
+        arrival order, before any await — that is what makes a client's
+        stream order the codec's stream order.
+        """
+        request_id = header.get("id")
+        op = header.get("op")
+        loop = asyncio.get_running_loop()
+
+        async def fail(exc: Exception) -> None:
+            await reply({
+                "id": request_id,
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            })
+
+        if op in ("encode", "decode"):
+            link = header.get("link")
+            try:
+                words = payload_to_words(payload)
+                future = self.engine.enqueue(
+                    str(link), op, words,
+                    deadline_s=header.get("deadline_s"),
+                )
+            except (ServeEngineError, ProtocolError, ValueError) as exc:
+                return loop.create_task(fail(exc))
+
+            async def respond() -> None:
+                try:
+                    result = await future
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    await fail(exc)
+                    return
+                await reply(
+                    {"id": request_id, "ok": True, "count": len(result)},
+                    words_to_payload(result),
+                )
+
+            return loop.create_task(respond())
+        return loop.create_task(self._control(op, header, request_id, reply))
+
+    async def _control(
+        self,
+        op: Optional[str],
+        header: Dict[str, Any],
+        request_id: Any,
+        reply: Any,
+    ) -> None:
+        try:
+            result = await self._run_control(op, header)
+        except asyncio.CancelledError:
+            raise
+        except (
+            ServeEngineError, LinkConfigError, ValueError, KeyError
+        ) as exc:
+            await reply({
+                "id": request_id,
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            })
+            return
+        response = {"id": request_id, "ok": True}
+        response.update(result)
+        await reply(jsonable(response))
+
+    async def _run_control(
+        self, op: Optional[str], header: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if op == "ping":
+            return {"links": self.engine.link_ids}
+        if op == "create_link":
+            link_id = str(header.get("link"))
+            config = LinkConfig.from_dict(header.get("config"))
+            # The first session on a geometry fits the capacitance
+            # model; keep that off the event loop.
+            session = await asyncio.get_running_loop().run_in_executor(
+                None, LinkSession, config
+            )
+            self.engine.add_link(link_id, session)
+            return {"link": link_id, "info": session.info()}
+        if op == "drop_link":
+            await self.engine.drop_link(str(header.get("link")))
+            return {}
+        if op == "stats":
+            link = header.get("link")
+            return {
+                "stats": self.engine.stats(
+                    None if link is None else str(link)
+                )
+            }
+        if op == "reset":
+            self.engine.session(str(header.get("link"))).reset()
+            return {}
+        raise ValueError(f"unknown op {op!r}; known: {list(OPS)}")
+
+
+class BackgroundServer:
+    """A :class:`LinkServer` on a private event loop in a daemon thread.
+
+    .. code-block:: python
+
+        with BackgroundServer() as server:
+            client = LinkClient.connect(server.address)
+
+    The context manager guarantees the server is accepting connections on
+    entry and fully torn down (engine included) on exit.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        path: Optional[str] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._policy = policy
+        self._host = host
+        self._port = port
+        self._path = path
+        self._max_workers = max_workers
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Future] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[LinkServer] = None
+
+    @property
+    def address(self) -> Union[Tuple[str, int], str]:
+        if self.server is None or self.server.address is None:
+            raise RuntimeError("server not running")
+        return self.server.address
+
+    def start(self) -> "BackgroundServer":
+        if self._thread is not None:
+            raise RuntimeError("already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            loop.close()
+
+    async def _main(self) -> None:
+        server = LinkServer(
+            policy=self._policy, max_workers=self._max_workers
+        )
+        try:
+            await server.start(
+                host=self._host, port=self._port, path=self._path
+            )
+        except Exception as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self._stop = asyncio.get_running_loop().create_future()
+        self._ready.set()
+        try:
+            await self._stop
+        finally:
+            await server.close()
+
+    def stop(self) -> None:
+        loop, stop = self._loop, self._stop
+        if loop is None or self._thread is None:
+            return
+        if stop is not None:
+            def _finish() -> None:
+                if not stop.done():
+                    stop.set_result(None)
+            loop.call_soon_threadsafe(_finish)
+        self._thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()

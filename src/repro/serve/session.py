@@ -1,0 +1,338 @@
+"""Stateful link sessions: geometry + assignment + codec chain + accounts.
+
+A :class:`LinkSession` is the server-side identity of one coded TSV link.
+It binds
+
+* a :class:`~repro.tsv.geometry.TSVArrayGeometry` (the physical array the
+  coded words drive),
+* a :class:`~repro.serve.codecs.CodecChain` built from JSON-able codec
+  specs (each codec carries its own per-link history),
+* a bit-to-TSV :class:`~repro.core.assignment.SignedPermutation`
+  (typically the Eq. 10 optimum found offline and shipped in the link
+  config),
+* two :class:`~repro.serve.metrics.EnergyAccount` instances pricing the
+  *coded* physical stream and the *uncoded* reference stream with the
+  same fitted capacitance model, so the session can report live
+  coded-vs-uncoded power savings that match the offline model bit for
+  bit.
+
+``decode(encode(x)) == x`` holds for every chain and arbitrary request
+chunking (see :mod:`repro.serve.codecs`). Sessions are thread-safe but
+serialized: the engine runs all batches of one link on a single worker so
+codec history stays a totally ordered stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import SignedPermutation
+from repro.datagen.util import words_to_bits
+from repro.serve.codecs import (
+    MAX_WORD_WIDTH,
+    CodecChain,
+    build_chain,
+    parse_codec_spec,
+)
+from repro.serve.metrics import EnergyAccount
+from repro.tsv.geometry import TSVArrayGeometry
+
+
+class LinkConfigError(ValueError):
+    """A link configuration that cannot be realized."""
+
+
+#: Geometry fields accepted in a link config (SI units, metres).
+_GEOMETRY_FIELDS = ("rows", "cols", "pitch", "radius", "length")
+
+
+@dataclass
+class LinkConfig:
+    """JSON-able description of one coded link.
+
+    Parameters
+    ----------
+    width:
+        Payload word width in bits (1..``MAX_WORD_WIDTH``).
+    geometry:
+        The TSV array carrying the link.
+    codecs:
+        Codec spec dicts applied payload -> line side (see
+        :func:`repro.serve.codecs.build_codec`). May be empty: a raw link
+        still gets routing and energy accounting.
+    assignment:
+        Optional bit-to-TSV signed permutation over all ``n_tsvs`` lines
+        (identity when omitted). Found offline, shipped with the config.
+    cap_method:
+        Capacitance extraction method for the energy accounts (see
+        :func:`repro.experiments.common.cap_model_for`).
+    """
+
+    width: int
+    geometry: TSVArrayGeometry
+    codecs: List[Dict[str, object]] = field(default_factory=list)
+    assignment: Optional[SignedPermutation] = None
+    cap_method: str = "compact3d"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LinkConfig":
+        """Parse and validate a config received over the control channel."""
+        if not isinstance(data, Mapping):
+            raise LinkConfigError(
+                f"link config must be a mapping, got {type(data).__name__}"
+            )
+        fields = dict(data)
+        try:
+            width = int(fields.pop("width"))
+        except KeyError:
+            raise LinkConfigError(
+                "link config needs a payload 'width'"
+            ) from None
+        except (TypeError, ValueError):
+            raise LinkConfigError(
+                "payload 'width' must be an integer"
+            ) from None
+        if not 1 <= width <= MAX_WORD_WIDTH:
+            raise LinkConfigError(
+                f"width must be in 1..{MAX_WORD_WIDTH}, got {width}"
+            )
+
+        geometry_spec = fields.pop("geometry", None)
+        if not isinstance(geometry_spec, Mapping):
+            raise LinkConfigError("link config needs a 'geometry' mapping")
+        unknown = set(geometry_spec) - set(_GEOMETRY_FIELDS)
+        if unknown:
+            raise LinkConfigError(
+                f"unknown geometry fields: {sorted(unknown)}"
+            )
+        try:
+            kwargs: Dict[str, Any] = {
+                "rows": int(geometry_spec["rows"]),
+                "cols": int(geometry_spec["cols"]),
+                "pitch": float(geometry_spec["pitch"]),
+                "radius": float(geometry_spec["radius"]),
+            }
+            if "length" in geometry_spec:
+                kwargs["length"] = float(geometry_spec["length"])
+            geometry = TSVArrayGeometry(**kwargs)
+        except LinkConfigError:
+            raise
+        except KeyError as exc:
+            raise LinkConfigError(
+                f"geometry needs field {exc.args[0]!r}"
+            ) from exc
+        except (TypeError, ValueError) as exc:
+            raise LinkConfigError(f"bad geometry: {exc}") from exc
+
+        codecs_spec = fields.pop("codecs", [])
+        if isinstance(codecs_spec, str):
+            codecs_spec = [codecs_spec]
+        if not isinstance(codecs_spec, Sequence):
+            raise LinkConfigError("'codecs' must be a list of codec specs")
+        codecs: List[Dict[str, object]] = []
+        for spec in codecs_spec:
+            if isinstance(spec, str):
+                codecs.append(parse_codec_spec(spec))
+            elif isinstance(spec, Mapping):
+                codecs.append(dict(spec))
+            else:
+                raise LinkConfigError(
+                    f"codec spec must be a mapping or string, got {spec!r}"
+                )
+
+        assignment_spec = fields.pop("assignment", None)
+        assignment: Optional[SignedPermutation] = None
+        if assignment_spec is not None:
+            if not isinstance(assignment_spec, Mapping):
+                raise LinkConfigError(
+                    "'assignment' must be a mapping with 'line_of_bit'"
+                )
+            try:
+                assignment = SignedPermutation.from_sequence(
+                    assignment_spec["line_of_bit"],
+                    assignment_spec.get("inverted"),
+                )
+            except KeyError:
+                raise LinkConfigError(
+                    "assignment needs 'line_of_bit'"
+                ) from None
+            except (TypeError, ValueError) as exc:
+                raise LinkConfigError(f"bad assignment: {exc}") from exc
+
+        cap_method = str(fields.pop("cap_method", "compact3d"))
+        if fields:
+            raise LinkConfigError(
+                f"unknown link config fields: {sorted(fields)}"
+            )
+        return cls(
+            width=width,
+            geometry=geometry,
+            codecs=codecs,
+            assignment=assignment,
+            cap_method=cap_method,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        geometry = {
+            "rows": self.geometry.rows,
+            "cols": self.geometry.cols,
+            "pitch": self.geometry.pitch,
+            "radius": self.geometry.radius,
+            "length": self.geometry.length,
+        }
+        assignment = None
+        if self.assignment is not None:
+            assignment = {
+                "line_of_bit": list(self.assignment.line_of_bit),
+                "inverted": [bool(x) for x in self.assignment.inverted],
+            }
+        return {
+            "width": self.width,
+            "geometry": geometry,
+            "codecs": [dict(spec) for spec in self.codecs],
+            "assignment": assignment,
+            "cap_method": self.cap_method,
+        }
+
+
+class LinkSession:
+    """One live coded link: codec state, routing, and energy accounts.
+
+    ``encode`` maps payload words to coded transport words, routes the
+    coded bits onto the TSV lines through the configured assignment and
+    books them (plus the uncoded reference bits) into the energy
+    accounts; ``decode`` is the exact inverse of ``encode`` on the word
+    level and books nothing (the receive side of a link does not drive
+    the bus).
+    """
+
+    def __init__(self, config: LinkConfig) -> None:
+        from repro.experiments.common import cap_model_for
+
+        self.config = config
+        geometry = config.geometry
+        self.n_lines = geometry.n_tsvs
+        try:
+            self.chain: CodecChain = build_chain(
+                config.codecs, config.width, geometry=geometry
+            )
+        except ValueError as exc:
+            raise LinkConfigError(str(exc)) from exc
+        if self.chain.width_out > self.n_lines:
+            raise LinkConfigError(
+                f"chain produces {self.chain.width_out}-bit words but the "
+                f"{geometry.rows}x{geometry.cols} array has only "
+                f"{self.n_lines} TSVs"
+            )
+        if config.width > self.n_lines:
+            raise LinkConfigError(
+                f"{config.width}-bit payload does not fit the "
+                f"{self.n_lines}-TSV array"
+            )
+        if config.assignment is None:
+            self.assignment = SignedPermutation.identity(self.n_lines)
+        elif len(config.assignment.line_of_bit) != self.n_lines:
+            raise LinkConfigError(
+                f"assignment covers {len(config.assignment.line_of_bit)} "
+                f"lines, array has {self.n_lines}"
+            )
+        else:
+            self.assignment = config.assignment
+        capacitance = cap_model_for(geometry, config.cap_method)
+        self.coded_energy = EnergyAccount(self.n_lines, capacitance)
+        self.uncoded_energy = EnergyAccount(self.n_lines, capacitance)
+        self._lock = threading.Lock()
+
+    # -- data path ----------------------------------------------------------
+
+    def _pad_lines(self, bits: np.ndarray) -> np.ndarray:
+        """Zero-pad a bit batch up to the array's full line count."""
+        if bits.shape[1] == self.n_lines:
+            return bits
+        padded = np.zeros((bits.shape[0], self.n_lines), dtype=bits.dtype)
+        padded[:, : bits.shape[1]] = bits
+        return padded
+
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        """Payload words -> coded transport words, booking both accounts."""
+        with self._lock:
+            coded = self.chain.encode(words)
+            if len(coded):
+                coded_bits = self._pad_lines(
+                    words_to_bits(coded, self.chain.width_out)
+                )
+                self.coded_energy.update(
+                    self.assignment.apply_to_bits(coded_bits)
+                )
+                self.uncoded_energy.update(
+                    self._pad_lines(
+                        words_to_bits(
+                            np.asarray(words, dtype=np.int64),
+                            self.config.width,
+                        )
+                    )
+                )
+            return coded
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        """Coded transport words -> payload words (exact inverse)."""
+        with self._lock:
+            return self.chain.decode(coded)
+
+    def reset(self) -> None:
+        """Restart the stream: codec histories and energy accounts."""
+        from repro.experiments.common import cap_model_for
+
+        with self._lock:
+            self.chain.reset()
+            capacitance = cap_model_for(
+                self.config.geometry, self.config.cap_method
+            )
+            self.coded_energy = EnergyAccount(self.n_lines, capacitance)
+            self.uncoded_energy = EnergyAccount(self.n_lines, capacitance)
+
+    # -- reporting ----------------------------------------------------------
+
+    def energy_report(self) -> Dict[str, Any]:
+        """Live coded-vs-uncoded power comparison of everything encoded."""
+        coded = self.coded_energy.report()
+        uncoded = self.uncoded_energy.report()
+        savings = None
+        coded_power = coded["normalized_power_farad"]
+        uncoded_power = uncoded["normalized_power_farad"]
+        if coded_power is not None and uncoded_power:
+            savings = 1.0 - coded_power / uncoded_power
+        return {"coded": coded, "uncoded": uncoded, "savings": savings}
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "config": self.config.to_dict(),
+            "width_in": self.chain.width_in,
+            "width_out": self.chain.width_out,
+            "n_lines": self.n_lines,
+            "codecs": self.chain.specs(),
+        }
+
+
+#: Shape/unit signatures for the deep-lint flow pass (see
+#: ``docs/static_analysis.md``). ``T`` = batch samples.
+REPRO_SIGNATURES = {
+    "LinkConfig": {
+        "width": "scalar dimensionless",
+        "geometry": "TSVArrayGeometry",
+        "codecs": "any",
+        "assignment": "SignedPermutation",
+        "cap_method": "any",
+    },
+    "LinkConfig.from_dict": {"data": "any", "return": "LinkConfig"},
+    "LinkSession": {"config": "LinkConfig"},
+    "LinkSession.encode": {"words": "(T,) dimensionless",
+                           "return": "(T,) dimensionless"},
+    "LinkSession.decode": {"coded": "(T,) dimensionless",
+                           "return": "(T,) dimensionless"},
+    "LinkSession.n_lines": "scalar dimensionless",
+}

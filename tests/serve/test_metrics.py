@@ -1,0 +1,158 @@
+"""Metrics layer: exact energy accounting, histograms, rate meters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.common import cap_model_for
+from repro.core.fastpower import CompiledPowerModel
+from repro.serve.metrics import (
+    EnergyAccount,
+    LatencyHistogram,
+    LinkMetrics,
+    RateMeter,
+)
+from repro.stats.switching import BitStatistics
+from repro.tsv.geometry import TSVArrayGeometry
+
+GEOMETRY = TSVArrayGeometry(rows=2, cols=3, pitch=4.0e-6, radius=1.0e-6)
+
+
+def bit_stream(n, lines, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 2, (n, lines)
+    ).astype(np.uint8)
+
+
+class TestEnergyAccountExactness:
+    """Batched accumulation == offline whole-stream statistics, bit for bit."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 400), max_size=5))
+    def test_matches_from_stream_under_any_batching(self, cuts):
+        bits = bit_stream(400, 6)
+        capacitance = cap_model_for(GEOMETRY)
+        account = EnergyAccount(6, capacitance)
+        edges = [0] + sorted(set(cuts)) + [len(bits)]
+        for a, b in zip(edges[:-1], edges[1:]):
+            account.update(bits[a:b])
+        offline = BitStatistics.from_stream(bits)
+        online = account.statistics()
+        np.testing.assert_array_equal(online.coupling, offline.coupling)
+        np.testing.assert_array_equal(
+            online.self_switching, offline.self_switching
+        )
+        np.testing.assert_array_equal(
+            online.probabilities, offline.probabilities
+        )
+        offline_power = CompiledPowerModel(offline, capacitance).power()
+        assert account.normalized_power() == offline_power
+
+    def test_boundary_transition_is_counted(self):
+        capacitance = cap_model_for(GEOMETRY)
+        account = EnergyAccount(6, capacitance)
+        account.update(np.zeros((1, 6), dtype=np.uint8))
+        account.update(np.ones((1, 6), dtype=np.uint8))
+        stats = account.statistics()
+        # The only transition flips all six lines.
+        np.testing.assert_array_equal(
+            stats.self_switching, np.ones(6)
+        )
+
+    def test_empty_and_single_sample(self):
+        account = EnergyAccount(6, cap_model_for(GEOMETRY))
+        assert account.statistics() is None
+        assert account.normalized_power() is None
+        account.update(np.zeros((0, 6), dtype=np.uint8))
+        assert account.n_samples == 0
+        account.update(np.zeros((1, 6), dtype=np.uint8))
+        assert account.statistics() is None
+        report = account.report()
+        assert report["normalized_power_farad"] is None
+        assert report["power_mw"] is None
+
+    def test_shape_validation(self):
+        account = EnergyAccount(6, cap_model_for(GEOMETRY))
+        with pytest.raises(ValueError, match="expected"):
+            account.update(np.zeros((3, 5), dtype=np.uint8))
+        with pytest.raises(ValueError, match="n_lines"):
+            EnergyAccount(0, cap_model_for(GEOMETRY))
+
+    def test_report_units(self):
+        account = EnergyAccount(6, cap_model_for(GEOMETRY))
+        account.update(bit_stream(100, 6))
+        report = account.report(vdd=1.0, frequency=2.0e9)
+        power = account.normalized_power()
+        assert report["power_mw"] == pytest.approx(
+            1.0e3 * power * 1.0 * 2.0e9 / 2.0
+        )
+
+
+class TestLatencyHistogram:
+    def test_percentiles_bracket_recorded_values(self):
+        histogram = LatencyHistogram()
+        values = np.linspace(1e-4, 1e-2, 1000)
+        for v in values:
+            histogram.record(float(v))
+        p50 = histogram.percentile(50.0)
+        p99 = histogram.percentile(99.0)
+        assert 3e-3 < p50 < 8e-3
+        assert p99 > p50
+        assert histogram.percentile(100.0) == pytest.approx(1e-2, rel=0.2)
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(99.0) == 0.0
+        assert histogram.summary()["count"] == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError, match="percentile"):
+            LatencyHistogram().percentile(101.0)
+
+    def test_summary_fields(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e-3)
+        summary = histogram.summary()
+        assert int(summary["count"]) == 1
+        assert summary["mean_s"] == pytest.approx(1e-3)
+        assert summary["max_s"] == pytest.approx(1e-3)
+
+
+class TestRateMeter:
+    def test_rate_over_window(self):
+        meter = RateMeter(window_s=10.0)
+        meter.add(100, now=0.0)
+        meter.add(100, now=1.0)
+        meter.add(100, now=2.0)
+        assert meter.rate(now=2.0) == pytest.approx(150.0)
+        assert meter.total == 300
+
+    def test_old_events_expire(self):
+        meter = RateMeter(window_s=1.0)
+        meter.add(1000, now=0.0)
+        meter.add(10, now=5.0)
+        meter.add(10, now=5.5)
+        assert meter.rate(now=5.5) == pytest.approx(40.0)
+
+    def test_empty_meter(self):
+        assert RateMeter().rate() == 0.0
+
+
+class TestLinkMetrics:
+    def test_snapshot_counts(self):
+        metrics = LinkMetrics()
+        metrics.note_submitted(queue_depth=3)
+        metrics.note_submitted(queue_depth=5)
+        metrics.note_batch("encode", n_requests=2, n_words=100)
+        metrics.note_shed()
+        metrics.note_deadline_missed()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["batches"] == 1
+        assert snapshot["words_encoded"] == 100
+        assert snapshot["words_decoded"] == 0
+        assert snapshot["shed"] == 1
+        assert snapshot["deadline_missed"] == 1
+        assert snapshot["max_queue_depth"] == 5
+        assert snapshot["mean_batch_requests"] == pytest.approx(2.0)
+        assert "latency" in snapshot and "words_per_s" in snapshot

@@ -1,0 +1,153 @@
+"""Link sessions: config validation, round trips, routing, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import SignedPermutation
+from repro.core.fastpower import CompiledPowerModel
+from repro.datagen.util import words_to_bits
+from repro.experiments.common import cap_model_for
+from repro.serve.session import LinkConfig, LinkConfigError, LinkSession
+from repro.stats.switching import BitStatistics
+from repro.tsv.geometry import TSVArrayGeometry
+
+GEOMETRY_SPEC = {"rows": 3, "cols": 3, "pitch": 4.0e-6, "radius": 1.0e-6}
+GEOMETRY = TSVArrayGeometry(**GEOMETRY_SPEC)
+
+
+def make_config(**overrides):
+    base = {"width": 8, "geometry": dict(GEOMETRY_SPEC)}
+    base.update(overrides)
+    return LinkConfig.from_dict(base)
+
+
+class TestLinkConfig:
+    def test_round_trips_through_dict(self):
+        config = make_config(
+            codecs=[{"kind": "gray", "negated": True}],
+            assignment={
+                "line_of_bit": list(range(9)),
+                "inverted": [True] + [False] * 8,
+            },
+        )
+        rebuilt = LinkConfig.from_dict(config.to_dict())
+        assert rebuilt.width == 8
+        assert rebuilt.geometry == config.geometry
+        assert rebuilt.codecs == config.codecs
+        assert rebuilt.assignment == config.assignment
+
+    def test_codec_shorthand_strings(self):
+        config = make_config(codecs=["correlator:n_channels=4", "gray"])
+        assert config.codecs[0] == {"kind": "correlator", "n_channels": 4}
+
+    @pytest.mark.parametrize("broken,match", [
+        ({"width": None}, "width"),
+        ({"width": 0}, "width"),
+        ({"width": 80}, "width"),
+        ({"geometry": None}, "geometry"),
+        ({"geometry": {"rows": 3}}, "geometry"),
+        ({"geometry": dict(GEOMETRY_SPEC, wat=1)}, "unknown geometry"),
+        ({"codecs": 7}, "codecs"),
+        ({"assignment": {"inverted": [True]}}, "line_of_bit"),
+        ({"assignment": {"line_of_bit": [0, 0]}}, "assignment"),
+        ({"unknown_field": 1}, "unknown link config"),
+    ])
+    def test_rejects_bad_configs(self, broken, match):
+        spec = {"width": 8, "geometry": dict(GEOMETRY_SPEC)}
+        spec.update(broken)
+        with pytest.raises(LinkConfigError, match=match):
+            LinkConfig.from_dict(spec)
+
+    def test_missing_width(self):
+        with pytest.raises(LinkConfigError, match="width"):
+            LinkConfig.from_dict({"geometry": dict(GEOMETRY_SPEC)})
+
+
+class TestLinkSession:
+    def test_round_trip_and_offline_energy_match(self):
+        config = make_config(codecs=[{"kind": "businvert"}])
+        session = LinkSession(config)
+        words = np.random.default_rng(0).integers(0, 256, 4000)
+        coded = session.encode(words)
+        np.testing.assert_array_equal(session.decode(coded), words)
+
+        # Offline recomputation on the physical stream must match the
+        # session's account *bit for bit*.
+        bits = np.zeros((len(words), 9), dtype=np.uint8)
+        bits[:, :9] = words_to_bits(coded, 9)
+        offline = CompiledPowerModel(
+            BitStatistics.from_stream(bits), cap_model_for(GEOMETRY)
+        ).power()
+        assert session.coded_energy.normalized_power() == offline
+
+    def test_assignment_routes_the_physical_bits(self):
+        assignment = SignedPermutation.random(
+            9, np.random.default_rng(1), with_inversions=True
+        )
+        config = make_config(assignment={
+            "line_of_bit": list(assignment.line_of_bit),
+            "inverted": list(assignment.inverted),
+        })
+        session = LinkSession(config)
+        words = np.random.default_rng(2).integers(0, 256, 2000)
+        session.encode(words)
+
+        bits = np.zeros((len(words), 9), dtype=np.uint8)
+        bits[:, :8] = words_to_bits(words, 8)
+        routed = assignment.apply_to_bits(bits)
+        offline = CompiledPowerModel(
+            BitStatistics.from_stream(routed), cap_model_for(GEOMETRY)
+        ).power()
+        assert session.coded_energy.normalized_power() == offline
+        # The uncoded reference is the *unrouted* payload stream.
+        unrouted = CompiledPowerModel(
+            BitStatistics.from_stream(bits), cap_model_for(GEOMETRY)
+        ).power()
+        assert session.uncoded_energy.normalized_power() == unrouted
+
+    def test_energy_report_shape(self):
+        session = LinkSession(make_config())
+        report = session.energy_report()
+        assert report["savings"] is None
+        session.encode(np.arange(256))
+        report = session.energy_report()
+        assert report["savings"] is not None
+        assert report["coded"]["n_samples"] == 256
+
+    def test_reset_restarts_stream_and_accounts(self):
+        session = LinkSession(
+            make_config(codecs=[{"kind": "couplinginvert"}])
+        )
+        words = np.random.default_rng(3).integers(0, 256, 500)
+        first = session.encode(words)
+        first_power = session.coded_energy.normalized_power()
+        session.reset()
+        assert session.coded_energy.n_samples == 0
+        np.testing.assert_array_equal(session.encode(words), first)
+        assert session.coded_energy.normalized_power() == first_power
+
+    def test_info(self):
+        session = LinkSession(make_config(codecs=[{"kind": "businvert"}]))
+        info = session.info()
+        assert info["width_in"] == 8
+        assert info["width_out"] == 9
+        assert info["n_lines"] == 9
+
+    def test_chain_wider_than_array_rejected(self):
+        config = LinkConfig.from_dict({
+            "width": 4,
+            "geometry": {"rows": 2, "cols": 2,
+                         "pitch": 4.0e-6, "radius": 1.0e-6},
+            "codecs": [{"kind": "businvert"}],
+        })
+        with pytest.raises(LinkConfigError, match="only"):
+            LinkSession(config)
+
+    def test_assignment_length_must_cover_all_lines(self):
+        config = make_config(assignment={"line_of_bit": [1, 0]})
+        with pytest.raises(LinkConfigError, match="lines"):
+            LinkSession(config)
+
+    def test_bad_codec_spec_becomes_config_error(self):
+        with pytest.raises(LinkConfigError, match="unknown codec kind"):
+            LinkSession(make_config(codecs=[{"kind": "nope"}]))

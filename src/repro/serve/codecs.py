@@ -31,7 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.coding.businvert import coupling_transition_cost
+from repro.coding.businvert import _popcount, coupling_transition_cost
 from repro.tsv.geometry import TSVArrayGeometry
 
 #: Widest word the int64 codecs support; wider streams must be split
@@ -41,6 +41,10 @@ MAX_WORD_WIDTH = 62
 #: Widest bus for which the coupling-invert codec precomputes its
 #: transition-cost table (``(2^(w+1))^2`` int8 entries; 10 lines = 1 MiB).
 _MAX_COST_TABLE_LINES = 10
+
+#: Widest bus for which the bus-invert codec precomputes its popcount
+#: table (``2^w`` int64 entries; 20 bits = 8 MiB).
+_MAX_POPCOUNT_TABLE_BITS = 20
 
 
 def _check_words(words: np.ndarray, width: int) -> np.ndarray:
@@ -229,7 +233,9 @@ class BusInvertCodec(StreamCodec):
 
     The per-word decision (invert when the Hamming distance to the
     previously *transmitted* word exceeds ``width / 2``) is inherently
-    sequential; a precomputed popcount table keeps the Python loop lean.
+    sequential; for buses up to ``_MAX_POPCOUNT_TABLE_BITS`` a
+    precomputed popcount table keeps the Python loop lean, wider buses
+    count bits per word.
     """
 
     kind = "businvert"
@@ -241,9 +247,12 @@ class BusInvertCodec(StreamCodec):
                 f"{MAX_WORD_WIDTH}, got {width}"
             )
         super().__init__(width, width + 1)
-        self._popcount = np.bitwise_count(
-            np.arange(1 << width, dtype=np.uint64)
-        ).astype(np.int64)
+        self._popcount: Optional[np.ndarray] = None
+        if width <= _MAX_POPCOUNT_TABLE_BITS:
+            self._popcount = np.asarray(
+                _popcount(np.arange(1 << width, dtype=np.int64)),
+                dtype=np.int64,
+            )
         self.reset()
 
     def reset(self) -> None:
@@ -258,13 +267,22 @@ class BusInvertCodec(StreamCodec):
         out = np.empty(len(words), dtype=np.int64)
         previous = self._enc_prev
         flag_bit = 1 << width
-        for t, word in enumerate(map(int, words)):
-            if popcount[previous ^ word] > half:
-                previous = word ^ mask
-                out[t] = previous | flag_bit
-            else:
-                previous = word
-                out[t] = word
+        if popcount is not None:
+            for t, word in enumerate(map(int, words)):
+                if popcount[previous ^ word] > half:
+                    previous = word ^ mask
+                    out[t] = previous | flag_bit
+                else:
+                    previous = word
+                    out[t] = word
+        else:
+            for t, word in enumerate(map(int, words)):
+                if bin(previous ^ word).count("1") > half:
+                    previous = word ^ mask
+                    out[t] = previous | flag_bit
+                else:
+                    previous = word
+                    out[t] = word
         self._enc_prev = previous
         return out
 

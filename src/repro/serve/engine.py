@@ -133,6 +133,9 @@ class _Link:
         self.metrics = LinkMetrics()
         self.worker: Optional["asyncio.Task[None]"] = None
         self.carry: Optional[_Request] = None
+        #: The batch the worker is currently filling or executing;
+        #: cancelling the worker mid-batch must still fail these.
+        self.inflight: List[_Request] = []
 
 
 class ServeEngine:
@@ -202,8 +205,11 @@ class ServeEngine:
                 await link.worker
             except asyncio.CancelledError:
                 pass
-        leftovers = [link.carry] if link.carry is not None else []
-        link.carry = None
+        leftovers = list(link.inflight)
+        link.inflight = []
+        if link.carry is not None:
+            leftovers.append(link.carry)
+            link.carry = None
         while True:
             try:
                 leftovers.append(link.queue.get_nowait())
@@ -290,6 +296,10 @@ class ServeEngine:
         """Pull one batch: first request (or carry), then the window."""
         policy = self.policy
         batch: List[_Request] = []
+        # Mutated in place, so the link always exposes the requests the
+        # worker holds; _stop_link fails them if we are cancelled here
+        # or during the executor run.
+        link.inflight = batch
         n_words = 0
         while not batch:
             if link.carry is not None:
@@ -351,6 +361,7 @@ class ServeEngine:
                 for request in batch:
                     if not request.future.done():
                         request.future.set_exception(exc)
+                link.inflight = []
                 continue
             link.metrics.note_batch(op, len(batch), int(sum(lengths)))
             now = time.monotonic()
@@ -361,6 +372,7 @@ class ServeEngine:
                 if not request.future.done():
                     request.future.set_result(piece)
                 link.metrics.latency.record(now - request.enqueued_at)
+            link.inflight = []
 
     # -- stats and lifecycle ------------------------------------------------
 

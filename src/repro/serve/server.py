@@ -203,9 +203,14 @@ class LinkServer:
             result = await self._run_control(op, header)
         except asyncio.CancelledError:
             raise
-        except (
-            ServeEngineError, LinkConfigError, ValueError, KeyError
-        ) as exc:
+        except Exception as exc:
+            # Always answer the frame — an unanswered id hangs blocking
+            # clients. Expected errors are the client's fault; anything
+            # else is a server bug worth a traceback in the log.
+            if not isinstance(
+                exc, (ServeEngineError, LinkConfigError, ValueError, KeyError)
+            ):
+                logger.exception("control op %r failed", op)
             await reply({
                 "id": request_id,
                 "ok": False,

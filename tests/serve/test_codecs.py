@@ -102,6 +102,20 @@ class TestChunkInvariance:
             coded + (flags.astype(np.int64) << 7),
         )
 
+    def test_businvert_wide_bus_skips_popcount_table(self):
+        # Beyond the table bound the codec must count bits per word
+        # instead of allocating a 2^width table; still bit-exact against
+        # the offline transform, and decode still inverts it.
+        words = stream(32, n=40)
+        codec = BusInvertCodec(32)
+        assert codec._popcount is None
+        coded, flags = bus_invert_encode(words, 32)
+        encoded = codec.encode(words)
+        np.testing.assert_array_equal(
+            encoded, coded + (flags.astype(np.int64) << 32)
+        )
+        np.testing.assert_array_equal(codec.decode(encoded), words)
+
     def test_couplinginvert_wide_bus_reference_path(self):
         # Beyond the cost-table bound the codec must fall back to the
         # reference cost function and still match the offline transform.

@@ -201,6 +201,39 @@ class TestLifecycle:
 
         run(body, policy=BatchPolicy(window_s=0.5))
 
+    def test_drop_link_fails_in_flight_batch(self):
+        # The batch executing on the thread pool when the link drops is
+        # neither queued nor carried; its futures must still fail rather
+        # than hang the callers awaiting them.
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+
+        async def body(engine):
+            original = engine._run_batch
+
+            def stalled_run_batch(session, op, words):
+                started.set()
+                release.wait(5.0)
+                return original(session, op, words)
+
+            engine._run_batch = stalled_run_batch
+            engine.create_link("L", make_config())
+            future = engine.enqueue("L", "encode", np.arange(8))
+            await asyncio.get_running_loop().run_in_executor(
+                None, started.wait, 5.0
+            )
+            await engine.drop_link("L")
+            with pytest.raises(EngineClosedError):
+                await asyncio.wait_for(future, 5.0)
+            release.set()
+
+        try:
+            run(body, policy=BatchPolicy(window_s=0.0))
+        finally:
+            release.set()
+
     def test_closed_engine_rejects_everything(self):
         async def body():
             engine = ServeEngine()

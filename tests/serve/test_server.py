@@ -135,6 +135,33 @@ class TestControlPlane:
         assert response["ok"] is False
         assert "unknown op" in response["message"]
 
+    def test_unexpected_control_error_still_replies(self, monkeypatch):
+        # Control ops can fail with exceptions outside the expected set
+        # (e.g. a MemoryError/TypeError out of session construction); the
+        # frame must still be answered or a blocking client hangs.
+        from repro.serve.protocol import (
+            read_frame_blocking, write_frame_blocking,
+        )
+        from repro.serve.server import LinkServer
+
+        original = LinkServer._run_control
+
+        async def exploding(self, op, header):
+            if op == "explode":
+                raise TypeError("boom")
+            return await original(self, op, header)
+
+        monkeypatch.setattr(LinkServer, "_run_control", exploding)
+        with BackgroundServer() as background:
+            with LinkClient.connect(background.address) as connection:
+                write_frame_blocking(
+                    connection._file, {"op": "explode", "id": 7}
+                )
+                response, _ = read_frame_blocking(connection._file)
+        assert response["ok"] is False
+        assert response["error"] == "TypeError"
+        assert "boom" in response["message"]
+
     def test_drop_link(self, client):
         client.create_link("ephemeral", link_config(8, []))
         client.drop_link("ephemeral")

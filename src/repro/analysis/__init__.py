@@ -5,10 +5,13 @@ Two halves:
 * :mod:`repro.analysis.linter` — an AST linter with repo-specific rules
   (``REP001`` .. ``REP005``): RNG reproducibility, vectorization,
   deprecated NumPy API, float equality, parameter mutation. Run it with
-  ``repro-tsv lint`` or ``python -m repro.analysis``. With ``--deep`` the
-  interprocedural shape/unit pass of :mod:`repro.analysis.flow` adds the
-  ``REP101`` .. ``REP104`` family (symbolic ndarray shapes, SI units,
-  Maxwell/SPICE matrix form, probability bounds).
+  ``repro-tsv lint`` or ``python -m repro.analysis``. With ``--threads``
+  the concurrency pass of :mod:`repro.analysis.concurrency` adds the
+  ``REP201`` .. ``REP206`` family (locksets, lock-order graphs,
+  thread-escape inference). With ``--deep`` both that pass and the
+  interprocedural shape/unit pass of :mod:`repro.analysis.flow`
+  (``REP101`` .. ``REP104``: symbolic ndarray shapes, SI units,
+  Maxwell/SPICE matrix form, probability bounds) run too.
 * :mod:`repro.analysis.contracts` — validators for the paper's physical
   invariants (SPICE-form ``C``, Eq. 5 signed permutations, probability
   ranges, ``T_s``/``T_c`` consistency), enforced at the core boundaries
@@ -68,18 +71,42 @@ __all__ = [
 LINT_FORMATS = ("text", "json", "sarif", "github")
 
 
+def _excluded(findings, exclude):
+    """Drop findings whose path lies under any entry of ``exclude``."""
+    from pathlib import Path
+
+    prefixes = [Path(entry).resolve() for entry in exclude]
+
+    def keep(finding):
+        path = Path(finding.path).resolve()
+        for prefix in prefixes:
+            try:
+                path.relative_to(prefix)
+            except ValueError:
+                continue
+            return False
+        return True
+
+    return [f for f in findings if keep(f)]
+
+
 def run_lint(
     paths: Sequence[str],
     output_format: str = "text",
     stream=None,
     deep: bool = False,
+    threads: bool = False,
+    exclude: Sequence[str] = (),
 ) -> int:
     """Lint ``paths`` and print findings; return a CI-friendly exit code.
 
     ``0`` when clean, ``1`` when findings exist, ``2`` on usage errors
-    (e.g. a path that does not exist). With ``deep=True`` the
-    interprocedural shape/unit pass (``REP101``..``REP104``) runs on top
-    of the shallow AST rules.
+    (e.g. a path that does not exist). With ``threads=True`` the
+    concurrency pass (``REP201``..``REP206``) runs on top of the shallow
+    AST rules; ``deep=True`` adds both that pass and the interprocedural
+    shape/unit pass (``REP101``..``REP104``). Findings under any path in
+    ``exclude`` are dropped — how CI lints ``tests/`` while skipping the
+    deliberately-bad fixture corpora.
     """
     stream = sys.stdout if stream is None else stream
     try:
@@ -88,6 +115,12 @@ def run_lint(
             from repro.analysis.flow import analyze_paths
 
             findings = sorted(set(findings) | set(analyze_paths(paths)))
+        if deep or threads:
+            from repro.analysis.concurrency import analyze_threads
+
+            findings = sorted(set(findings) | set(analyze_threads(paths)))
+        if exclude:
+            findings = _excluded(findings, exclude)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -113,8 +146,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "repo-specific physics/numerics linter "
-            "(REP001..REP005, --deep adds REP101..REP104)"
+            "repo-specific physics/numerics linter (REP001..REP007; "
+            "--threads adds REP201..REP206, --deep adds both deep passes)"
         ),
     )
     parser.add_argument(
@@ -127,7 +160,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--deep", action="store_true",
-        help="run the interprocedural shape/unit inference pass too",
+        help="run the interprocedural shape/unit + concurrency passes too",
+    )
+    parser.add_argument(
+        "--threads", action="store_true",
+        help="run the concurrency-safety pass (REP201..REP206)",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="PATH",
+        help="drop findings under this path (repeatable)",
     )
     args = parser.parse_args(argv)
-    return run_lint(args.paths, output_format=args.format, deep=args.deep)
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        deep=args.deep,
+        threads=args.threads,
+        exclude=args.exclude,
+    )

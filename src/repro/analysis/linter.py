@@ -457,6 +457,92 @@ class ParameterMutationRule(Rule):
             )
 
 
+class DaemonThreadRule(Rule):
+    """REP007: a ``daemon=True`` thread started but never joined.
+
+    Daemon threads are killed mid-statement at interpreter exit, which
+    can tear a codec's history stream or drop buffered metrics on the
+    floor. A daemon thread is fine as long as its handle is joined
+    somewhere in the file, or registered with ``atexit`` as a shutdown
+    hook; anything else gets flagged at the construction site.
+    """
+
+    code = "REP007"
+    summary = "daemon thread never joined or registered for shutdown"
+
+    def visit_Module(self, node: ast.Module) -> None:
+        bound: Dict[int, str] = {}  # id(ctor call) -> bound handle name
+        ctors: List[ast.Call] = []
+        joined: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and self._is_daemon_thread(sub):
+                ctors.append(sub)
+            if isinstance(sub, ast.Assign) and isinstance(
+                sub.value, ast.Call
+            ):
+                bound[id(sub.value)] = self._bound_name(sub.targets)
+            elif isinstance(sub, ast.Attribute) and sub.attr == "join":
+                joined.add(self._handle_name(sub.value))
+            elif (
+                isinstance(sub, ast.Call)
+                and self.imports.canonical(sub.func) == "atexit.register"
+            ):
+                for arg in sub.args:
+                    if isinstance(arg, ast.Attribute):
+                        joined.add(self._handle_name(arg.value))
+                    elif isinstance(arg, ast.Name):
+                        joined.add(arg.id)
+        for call in ctors:
+            name = bound.get(id(call), "")
+            if name and name in joined:
+                continue
+            handle = f"thread {name!r}" if name else "anonymous thread"
+            self.record(
+                call,
+                f"daemon=True {handle} is never joined; daemon threads die "
+                "mid-statement at interpreter exit — join it on the "
+                "shutdown path or register an atexit hook",
+            )
+
+    def _is_daemon_thread(self, call: ast.Call) -> bool:
+        if self.imports.canonical(call.func) not in (
+            "threading.Thread",
+            "threading.Timer",
+        ):
+            return False
+        return any(
+            kw.arg == "daemon"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in call.keywords
+        )
+
+    @staticmethod
+    def _bound_name(targets: List[ast.expr]) -> str:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                return target.id
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return f"self.{target.attr}"
+        return ""
+
+    @staticmethod
+    def _handle_name(node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return f"self.{node.attr}"
+        return ""
+
+
 #: All rules, in code order. The registry the CLI and docs iterate over.
 ALL_RULES = (
     UnseededRandomRule,
@@ -464,6 +550,7 @@ ALL_RULES = (
     DeprecatedNumpyRule,
     FloatEqualityRule,
     ParameterMutationRule,
+    DaemonThreadRule,
 )
 
 

@@ -25,6 +25,21 @@ Alternatives are separated by ``|`` (``"(N, N) farad spice | LinearCapacitanceMo
 an argument is only reported when it conflicts with *every* alternative.
 Symbols are shared across one signature: ``N`` in two parameters means
 the same size at every call site.
+
+Three ``@``-prefixed keys feed the concurrency pass
+(:mod:`repro.analysis.concurrency`) instead of the flow pass:
+
+``"@guards": ["ClassName.attr guarded_by _lock", "_global guarded_by _l"]``
+    declares which lock protects a field. A capitalized head names an
+    instance attribute guarded by an attribute lock of the same class;
+    a lowercase head names a module global guarded by a module-level
+    lock.
+``"@threads": ["ClassName", "ClassName.method", "funcname"]``
+    declares thread entry points: the named class escapes to another
+    thread, or the named callable runs on one.
+``"@blocking": ["funcname"]``
+    declares callables that may block indefinitely (so calling them
+    while holding a lock is REP204).
 """
 
 from __future__ import annotations
@@ -61,6 +76,7 @@ ANNOTATED_MODULES = (
     "repro.serve.metrics",
     "repro.serve.session",
     "repro.serve.engine",
+    "repro.serve.server",
     "repro.serve.protocol",
 )
 
@@ -150,6 +166,10 @@ class SignatureRegistry:
         self.functions: Dict[str, Signature] = {}
         self.attributes: Dict[str, AbstractValue] = {}
         self.object_classes: Dict[str, str] = {}  # dotted name -> class name
+        # Concurrency facts (the @-prefixed mini-language):
+        self.guards: Dict[str, str] = {}  # field id -> lock id
+        self.thread_entries: set = set()  # "Class", "Class.m", "func"
+        self.blocking: set = set()  # callables that may block
 
     # -- population -----------------------------------------------------------
 
@@ -157,6 +177,9 @@ class SignatureRegistry:
         """Merge one module's ``REPRO_SIGNATURES`` dict."""
         for key, spec in raw.items():
             if not isinstance(key, str):
+                continue
+            if key.startswith("@"):
+                self._add_concurrency_spec(module_name, key, spec)
                 continue
             dotted = f"{module_name}.{key}" if module_name else key
             if isinstance(spec, str):
@@ -176,6 +199,42 @@ class SignatureRegistry:
                     self.object_classes[dotted] = key
                     if sig.ret is None:
                         sig.ret = [AbstractValue(obj=key)]
+
+    def _add_concurrency_spec(
+        self, module_name: str, key: str, spec: Sequence
+    ) -> None:
+        """Fold one ``@guards`` / ``@threads`` / ``@blocking`` entry in."""
+        if not isinstance(spec, (list, tuple)):
+            raise ValueError(f"{key} expects a list of strings")
+        if key == "@guards":
+            for entry in spec:
+                self._add_guard(module_name, entry)
+        elif key == "@threads":
+            self.thread_entries.update(str(entry) for entry in spec)
+        elif key == "@blocking":
+            self.blocking.update(str(entry) for entry in spec)
+        else:
+            raise ValueError(f"unknown registry directive {key!r}")
+
+    def _add_guard(self, module_name: str, entry: str) -> None:
+        parts = str(entry).split()
+        if len(parts) != 3 or parts[1] != "guarded_by":
+            raise ValueError(
+                f"malformed @guards entry {entry!r}: expected "
+                "'<field> guarded_by <lock>'"
+            )
+        target, _, lock = parts
+        head = target.split(".")[0]
+        if head[:1].isupper():
+            # "ClassName.attr guarded_by _lock": an attribute lock of the
+            # same class unless the lock is already dotted.
+            field_id = target
+            lock_id = lock if "." in lock else f"{head}.{lock}"
+        else:
+            # "_global guarded_by _lock": module-level names.
+            field_id = f"{module_name}.{target}" if module_name else target
+            lock_id = f"{module_name}.{lock}" if module_name else lock
+        self.guards[field_id] = lock_id
 
     # -- lookup ---------------------------------------------------------------
 

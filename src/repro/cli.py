@@ -260,7 +260,13 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import run_lint
 
-    return run_lint(args.paths, output_format=args.format, deep=args.deep)
+    return run_lint(
+        args.paths,
+        output_format=args.format,
+        deep=args.deep,
+        threads=args.threads,
+        exclude=args.exclude,
+    )
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -420,8 +426,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the repo-specific static linter "
-             "(REP001..REP005; --deep adds REP101..REP104)",
+        help="run the repo-specific static linter (REP001..REP007; "
+             "--threads adds REP201..REP206, --deep adds both deep passes)",
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -431,7 +437,15 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("text", "json", "sarif", "github"))
     p_lint.add_argument(
         "--deep", action="store_true",
-        help="also run the interprocedural shape/unit inference pass",
+        help="also run the interprocedural shape/unit + concurrency passes",
+    )
+    p_lint.add_argument(
+        "--threads", action="store_true",
+        help="also run the concurrency-safety pass (REP201..REP206)",
+    )
+    p_lint.add_argument(
+        "--exclude", action="append", default=[], metavar="PATH",
+        help="drop findings under this path (repeatable)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

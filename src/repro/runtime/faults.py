@@ -184,12 +184,24 @@ _plan_lock = threading.Lock()
 
 def active_plan() -> Optional[FaultPlan]:
     """The fault plan in effect, if any."""
-    global _env_plan
-    if _local_plan is not None:
-        return _local_plan
+    plan = _local_plan  # repro: noqa[REP202] lock-free fast path: a stale
+    # read only delays a plan swap by one fault_point, never tears it
+    # (rebinding a reference is atomic under the GIL).
+    if plan is not None:
+        return plan
     spec = os.environ.get(FAULTS_ENV_VAR, "")
     if not spec.strip():
         return None
+    env_plan = _env_plan  # repro: noqa[REP202] double-checked fast path;
+    # _install_env_plan re-checks under _plan_lock before installing.
+    if env_plan is not None and env_plan.spec == spec:
+        return env_plan
+    return _install_env_plan(spec)
+
+
+def _install_env_plan(spec: str) -> FaultPlan:
+    """Install (or reuse) the environment-derived plan, exactly once."""
+    global _env_plan
     with _plan_lock:
         if _env_plan is None or _env_plan.spec != spec:
             _env_plan = FaultPlan(spec)
@@ -221,13 +233,15 @@ class inject_faults:
 
     def __enter__(self) -> FaultPlan:
         global _local_plan
-        self._previous = _local_plan
-        _local_plan = self.plan
+        with _plan_lock:
+            self._previous = _local_plan
+            _local_plan = self.plan
         return self.plan
 
     def __exit__(self, *exc_info: Any) -> None:
         global _local_plan
-        _local_plan = self._previous
+        with _plan_lock:
+            _local_plan = self._previous
 
 
 #: Shape/unit signatures for the deep-lint flow pass.
@@ -235,4 +249,12 @@ REPRO_SIGNATURES = {
     "FaultPlan": {"spec": "any"},
     "fault_point": {"name": "any"},
     "active_plan": {"return": "FaultPlan | any"},
+    # Concurrency discipline: the active plan is process-global and read
+    # from every worker thread; fault_point may sleep (slow_solve), so it
+    # must never be reached while the caller holds a lock.
+    "@guards": [
+        "_local_plan guarded_by _plan_lock",
+        "_env_plan guarded_by _plan_lock",
+    ],
+    "@blocking": ["fault_point"],
 }

@@ -322,4 +322,7 @@ REPRO_SIGNATURES = {
         "max_retries": "scalar dimensionless",
     },
     "ChainSupervisor.run": {"chain_fn": "any", "return": "SupervisionReport"},
+    # Concurrency discipline: attempts run on the executor; the stop and
+    # interrupt flags are threading.Events, which synchronize themselves.
+    "@threads": ["ChainSupervisor._attempt"],
 }

@@ -407,11 +407,15 @@ class CacCodec(StreamCodec):
         key = (geometry.cache_key(), bool(include_diagonal))
         with self._cache_lock:
             codebook = self._codebook_cache.get(key)
-            if codebook is None:
-                codebook = build_lat_codebook(
-                    geometry, include_diagonal=include_diagonal
-                )
-                self._codebook_cache[key] = codebook
+        if codebook is None:
+            # Build outside the lock: LAT construction is seconds-slow for
+            # big arrays and must not serialize unrelated links. Losing a
+            # duplicate-build race is fine; setdefault keeps one winner.
+            built = build_lat_codebook(
+                geometry, include_diagonal=include_diagonal
+            )
+            with self._cache_lock:
+                codebook = self._codebook_cache.setdefault(key, built)
         if codebook.payload_bits < 1:
             raise ValueError("codebook carries no payload bits")
         super().__init__(codebook.payload_bits, codebook.n_lines)
@@ -604,6 +608,12 @@ REPRO_SIGNATURES = {
                         "return": "(T,) dimensionless"},
     "CacCodec.decode": {"coded": "(T,) dimensionless",
                         "return": "(T,) dimensionless"},
+    # Concurrency discipline: the codebook cache is class-level state
+    # shared by every link whose session constructs a CacCodec, and
+    # sessions are built concurrently on executor threads.
+    "@threads": ["CacCodec"],
+    "@guards": ["CacCodec._codebook_cache guarded_by _cache_lock"],
+    "@blocking": ["build_lat_codebook"],
     "CodecChain.encode": {"words": "(T,) dimensionless",
                           "return": "(T,) dimensionless"},
     "CodecChain.decode": {"words": "(T,) dimensionless",

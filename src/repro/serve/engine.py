@@ -436,4 +436,7 @@ REPRO_SIGNATURES = {
         "config": "LinkConfig",
         "return": "LinkSession",
     },
+    # Concurrency discipline: batches execute on the engine's worker
+    # pool; per-link state beyond that is event-loop-confined.
+    "@threads": ["ServeEngine._run_batch"],
 }

@@ -61,15 +61,23 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._total
+        with self._lock:
+            return self._total
 
     def percentile(self, q: float) -> float:
         """Approximate ``q``-th percentile latency in seconds (0..100)."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in 0..100, got {q}")
         with self._lock:
             total = self._total
             counts = self._counts.copy()
+            maximum = self._max
+        return self._percentile_of(q, total, counts, maximum)
+
+    def _percentile_of(
+        self, q: float, total: int, counts: np.ndarray, maximum: float
+    ) -> float:
+        """Percentile from one consistent (total, counts, max) snapshot."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in 0..100, got {q}")
         if total == 0:
             return 0.0
         rank = q / 100.0 * total
@@ -81,26 +89,30 @@ class LatencyHistogram:
                 lo = self._bounds[index - 1] if index > 0 else 0.0
                 hi = (
                     self._bounds[index]
-                    if index < len(self._bounds) else self._max
+                    if index < len(self._bounds) else maximum
                 )
                 fraction = (rank - cumulative) / bucket
                 estimate = lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
                 # The true maximum is known exactly; never estimate past it.
-                return float(min(estimate, self._max))
+                return float(min(estimate, maximum))
             cumulative += bucket
-        return self._max
+        return maximum
 
     def summary(self) -> Dict[str, float]:
+        # One snapshot for everything, so p50 <= p95 <= p99 <= max even
+        # while recorders are racing this reader.
         with self._lock:
             total, latency_sum = self._total, self._sum
+            counts = self._counts.copy()
+            maximum = self._max
         mean = latency_sum / total if total else 0.0
         return {
             "count": float(total),
             "mean_s": mean,
-            "p50_s": self.percentile(50.0),
-            "p95_s": self.percentile(95.0),
-            "p99_s": self.percentile(99.0),
-            "max_s": self._max,
+            "p50_s": self._percentile_of(50.0, total, counts, maximum),
+            "p95_s": self._percentile_of(95.0, total, counts, maximum),
+            "p99_s": self._percentile_of(99.0, total, counts, maximum),
+            "max_s": maximum,
         }
 
 
@@ -132,7 +144,8 @@ class RateMeter:
 
     @property
     def total(self) -> int:
-        return self._total
+        with self._lock:
+            return self._total
 
     def rate(self, now: Optional[float] = None) -> float:
         now = time.monotonic() if now is None else now
@@ -283,11 +296,13 @@ class EnergyAccount:
 
     @property
     def n_samples(self) -> int:
-        return self._n_samples
+        with self._lock:
+            return self._n_samples
 
     @property
     def n_transitions(self) -> int:
-        return max(0, self._n_samples - 1)
+        with self._lock:
+            return max(0, self._n_samples - 1)
 
     def statistics(self) -> Optional[BitStatistics]:
         """The accumulated stream's :class:`BitStatistics`, or ``None``.
@@ -355,4 +370,36 @@ REPRO_SIGNATURES = {
     "EnergyAccount.n_lines": "scalar dimensionless",
     "EnergyAccount.n_samples": "scalar dimensionless",
     "EnergyAccount.n_transitions": "scalar dimensionless",
+    # Concurrency discipline (see the REP2xx section of the docs): these
+    # classes are updated from worker threads and snapshotted from the
+    # event loop, so every mutable field is guarded by its owner's lock.
+    "@threads": [
+        "LatencyHistogram.record",
+        "RateMeter.add",
+        "LinkMetrics.note_batch",
+        "EnergyAccount.update",
+    ],
+    "@guards": [
+        "LatencyHistogram._counts guarded_by _lock",
+        "LatencyHistogram._total guarded_by _lock",
+        "LatencyHistogram._sum guarded_by _lock",
+        "LatencyHistogram._max guarded_by _lock",
+        "RateMeter._events guarded_by _lock",
+        "RateMeter._total guarded_by _lock",
+        "LinkMetrics.requests guarded_by _lock",
+        "LinkMetrics.batches guarded_by _lock",
+        "LinkMetrics.batched_requests guarded_by _lock",
+        "LinkMetrics.words_encoded guarded_by _lock",
+        "LinkMetrics.words_decoded guarded_by _lock",
+        "LinkMetrics.shed guarded_by _lock",
+        "LinkMetrics.deadline_missed guarded_by _lock",
+        "LinkMetrics.errors guarded_by _lock",
+        "LinkMetrics.queue_depth guarded_by _lock",
+        "LinkMetrics.max_queue_depth guarded_by _lock",
+        "LinkMetrics.max_batch_words guarded_by _lock",
+        "EnergyAccount._gram guarded_by _lock",
+        "EnergyAccount._ones guarded_by _lock",
+        "EnergyAccount._n_samples guarded_by _lock",
+        "EnergyAccount._last guarded_by _lock",
+    ],
 }

@@ -352,3 +352,13 @@ class BackgroundServer:
 
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.stop()
+
+
+#: Signatures for the lint passes. The server has no shape/unit surface
+#: of its own (payloads are typed at the session boundary); the entries
+#: here declare its threading structure for the concurrency pass.
+REPRO_SIGNATURES = {
+    # The serve loop runs on the background thread; everything it touches
+    # is event-loop-confined or handed over via call_soon_threadsafe.
+    "@threads": ["BackgroundServer._run"],
+}

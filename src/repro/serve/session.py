@@ -299,8 +299,13 @@ class LinkSession:
 
     def energy_report(self) -> Dict[str, Any]:
         """Live coded-vs-uncoded power comparison of everything encoded."""
-        coded = self.coded_energy.report()
-        uncoded = self.uncoded_energy.report()
+        with self._lock:
+            # reset() rebinds the accounts; snapshot both references under
+            # the lock so the comparison prices one consistent stream.
+            coded_account = self.coded_energy
+            uncoded_account = self.uncoded_energy
+        coded = coded_account.report()
+        uncoded = uncoded_account.report()
         savings = None
         coded_power = coded["normalized_power_farad"]
         uncoded_power = uncoded["normalized_power_farad"]
@@ -309,13 +314,14 @@ class LinkSession:
         return {"coded": coded, "uncoded": uncoded, "savings": savings}
 
     def info(self) -> Dict[str, Any]:
-        return {
-            "config": self.config.to_dict(),
-            "width_in": self.chain.width_in,
-            "width_out": self.chain.width_out,
-            "n_lines": self.n_lines,
-            "codecs": self.chain.specs(),
-        }
+        with self._lock:
+            return {
+                "config": self.config.to_dict(),
+                "width_in": self.chain.width_in,
+                "width_out": self.chain.width_out,
+                "n_lines": self.n_lines,
+                "codecs": self.chain.specs(),
+            }
 
 
 #: Shape/unit signatures for the deep-lint flow pass (see
@@ -335,4 +341,15 @@ REPRO_SIGNATURES = {
     "LinkSession.decode": {"coded": "(T,) dimensionless",
                            "return": "(T,) dimensionless"},
     "LinkSession.n_lines": "scalar dimensionless",
+    "LinkSession.coded_energy": "EnergyAccount",
+    "LinkSession.uncoded_energy": "EnergyAccount",
+    # Concurrency discipline: sessions are constructed on executor threads
+    # (the server's run_in_executor) and batched on engine workers, so
+    # everything reset() rebinds is guarded by the session lock.
+    "@threads": ["LinkSession"],
+    "@guards": [
+        "LinkSession.chain guarded_by _lock",
+        "LinkSession.coded_energy guarded_by _lock",
+        "LinkSession.uncoded_energy guarded_by _lock",
+    ],
 }

@@ -1,0 +1,18 @@
+"""Fixture: REP007 (shallow) — daemon thread with no join or atexit hook.
+
+The handle escapes by being returned, so the deep REP206 function-local
+rule stays quiet; the shallow file-level rule still wants a join or a
+registered shutdown hook somewhere in the file.
+"""
+
+import threading
+
+
+def _tick():
+    pass
+
+
+def launch():
+    watchdog = threading.Thread(target=_tick, daemon=True)  # expect: REP007
+    watchdog.start()
+    return watchdog

@@ -1,0 +1,24 @@
+"""Fixture: REP201 — write to a guarded attribute without its lock."""
+
+import threading
+
+
+class SharedCounter:
+    """A counter bumped from worker threads; one writer forgets the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        self.value += 1  # expect: REP201
+
+    def read(self):
+        with self._lock:
+            return self.value
+
+
+REPRO_SIGNATURES = {
+    "@guards": ["SharedCounter.value guarded_by _lock"],
+    "@threads": ["SharedCounter"],
+}

@@ -1,0 +1,39 @@
+"""Fixture: REP202 — inconsistent lockset found by thread-escape inference.
+
+No annotations here on purpose: the class escapes through its own
+``threading.Thread(target=self._spin)``, and ``_count`` is accessed under
+``_lock`` on several sites, so the one bare read is flagged by inference.
+"""
+
+import threading
+
+
+class Meter:
+    """Counts events from a worker thread; one reader forgets the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._spin)
+        self._thread.start()
+
+    def stop(self):
+        if self._thread is not None:
+            self._thread.join()
+
+    def _spin(self):
+        self.add(1)
+
+    def add(self, n):
+        with self._lock:
+            self._count += n
+
+    def reset(self):
+        with self._lock:
+            self._count = 0
+
+    def peek(self):
+        return self._count  # expect: REP202

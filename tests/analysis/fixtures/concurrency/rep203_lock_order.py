@@ -1,0 +1,21 @@
+"""Fixture: REP203 — two locks taken in opposite orders (deadlock)."""
+
+import threading
+
+
+class Transfer:
+    """Classic AB/BA deadlock between a debit and a credit path."""
+
+    def __init__(self):
+        self._debit_lock = threading.Lock()
+        self._credit_lock = threading.Lock()
+
+    def debit_then_credit(self):
+        with self._debit_lock:
+            with self._credit_lock:  # expect: REP203
+                pass
+
+    def credit_then_debit(self):
+        with self._credit_lock:
+            with self._debit_lock:  # expect: REP203
+                pass

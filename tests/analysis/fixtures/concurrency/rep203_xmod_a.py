@@ -1,0 +1,21 @@
+"""Fixture: REP203 across modules, side A — alpha taken before beta.
+
+The cycle only exists when this module's summary is combined with
+``rep203_xmod_b``: neither file is wrong on its own.
+"""
+
+import threading
+
+from rep203_xmod_b import grab_beta
+
+_alpha = threading.Lock()
+
+
+def alpha_then_beta():
+    with _alpha:
+        grab_beta()  # expect: REP203
+
+
+def grab_alpha():
+    with _alpha:
+        pass

@@ -1,0 +1,17 @@
+"""Fixture: REP203 across modules, side B — beta taken before alpha."""
+
+import threading
+
+from rep203_xmod_a import grab_alpha
+
+_beta = threading.Lock()
+
+
+def beta_then_alpha():
+    with _beta:
+        grab_alpha()  # expect: REP203
+
+
+def grab_beta():
+    with _beta:
+        pass

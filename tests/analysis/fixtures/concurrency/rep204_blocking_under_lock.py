@@ -1,0 +1,23 @@
+"""Fixture: REP204 — blocking calls while holding a lock."""
+
+import threading
+import time
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def wait_slowly(self):
+        with self._lock:
+            time.sleep(0.1)  # expect: REP204
+
+    def nap(self):
+        time.sleep(0.05)
+
+    def wait_via_helper(self):
+        with self._lock:
+            self.nap()  # expect: REP204
+
+    def wait_politely(self):
+        time.sleep(0.1)

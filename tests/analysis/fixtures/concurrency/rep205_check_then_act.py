@@ -1,0 +1,23 @@
+"""Fixture: REP205 — non-atomic check-then-act on a guarded field."""
+
+import threading
+
+
+class LazyTable:
+    """Lazy init that checks outside the lock and acts inside it."""
+
+    _table = None
+    _lock = threading.Lock()
+
+    def get(self):
+        if self._table is None:  # expect: REP205
+            with self._lock:
+                self._table = {}
+        with self._lock:
+            return self._table
+
+
+REPRO_SIGNATURES = {
+    "@guards": ["LazyTable._table guarded_by _lock"],
+    "@threads": ["LazyTable"],
+}

@@ -1,0 +1,18 @@
+"""Fixture: REP206 — a thread started and then forgotten."""
+
+import threading
+
+
+def _work():
+    pass
+
+
+def fire_and_forget():
+    worker = threading.Thread(target=_work)
+    worker.start()  # expect: REP206
+
+
+def fire_and_join():
+    worker = threading.Thread(target=_work)
+    worker.start()
+    worker.join()

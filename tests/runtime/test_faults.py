@@ -112,3 +112,78 @@ class TestFiring:
         plan.fire("cache_corrupt", path=second)
         assert len(first.read_bytes()) < len(payload)  # truncated
         assert second.read_bytes() == payload  # budget exhausted
+
+
+class TestPlanConcurrency:
+    def test_concurrent_env_plan_install_is_single(self, monkeypatch):
+        """All threads racing active_plan() must agree on one env plan.
+
+        Regression test for the REP2xx analysis fix: the environment plan
+        is installed under ``_plan_lock`` with a double-checked fast path,
+        so concurrent engines never observe two plans for one spec.
+        """
+        import threading
+
+        from repro.runtime import faults
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, "slow_solve(0.001)")
+        monkeypatch.setattr(faults, "_env_plan", None)
+        monkeypatch.setattr(faults, "_local_plan", None)
+
+        barrier = threading.Barrier(8)
+        plans, errors = [], []
+
+        def resolve():
+            try:
+                barrier.wait(timeout=30.0)
+                for _ in range(50):
+                    plans.append(active_plan())
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=resolve) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        assert len(plans) == 8 * 50
+        assert len({id(plan) for plan in plans}) == 1
+        assert plans[0].active("slow_solve")
+
+    def test_inject_faults_swap_is_locked_and_stacked(self, monkeypatch):
+        """Context-manager swaps stay consistent under a reader thread."""
+        import threading
+
+        from repro.runtime import faults
+
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        monkeypatch.setattr(faults, "_local_plan", None)
+
+        stop = threading.Event()
+        seen, errors = set(), []
+
+        def watch():
+            try:
+                while not stop.is_set():
+                    plan = active_plan()
+                    if plan is not None:
+                        seen.add(plan.spec)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        watcher = threading.Thread(target=watch)
+        watcher.start()
+        try:
+            for _ in range(200):
+                with inject_faults("chain_crash(1)"):
+                    with inject_faults("slow_solve(0.001)"):
+                        pass
+                    assert active_plan().spec == "chain_crash(1)"
+                assert active_plan() is None
+        finally:
+            stop.set()
+            watcher.join(timeout=30.0)
+        assert errors == []
+        # The watcher only ever saw fully-installed plans.
+        assert seen <= {"chain_crash(1)", "slow_solve(0.001)"}

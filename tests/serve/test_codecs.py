@@ -237,3 +237,48 @@ class TestValidationAndSpecs:
         }
         with pytest.raises(ValueError, match="empty"):
             parse_codec_spec(":negated")
+
+
+class TestCacCacheConcurrency:
+    def test_concurrent_construction_shares_one_codebook(self):
+        """The class-level codebook cache must survive a construction race.
+
+        Regression test for the REP2xx analysis fix: the cache read is
+        double-checked and the slow codebook build happens outside
+        ``_cache_lock``, so losing the race must still leave exactly one
+        cached codebook that every instance shares.
+        """
+        import threading
+
+        geometry = TSVArrayGeometry(
+            rows=2, cols=2, pitch=4.0e-6, radius=1.0e-6
+        )
+        key = (geometry.cache_key(), False)
+        with CacCodec._cache_lock:
+            CacCodec._codebook_cache.pop(key, None)
+
+        barrier = threading.Barrier(8)
+        codecs, errors = [], []
+
+        def construct():
+            try:
+                barrier.wait(timeout=30.0)
+                codecs.append(CacCodec(geometry))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=construct) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert errors == []
+        assert len(codecs) == 8
+        # Exactly one winner was installed and everyone adopted it.
+        cached = CacCodec._codebook_cache[key]
+        assert all(codec.codebook is cached for codec in codecs)
+        words = stream(cached.payload_bits, n=64, seed=3)
+        for codec in codecs:
+            np.testing.assert_array_equal(
+                codec.decode(codec.encode(words)), words
+            )

@@ -156,3 +156,56 @@ class TestLinkMetrics:
         assert snapshot["max_queue_depth"] == 5
         assert snapshot["mean_batch_requests"] == pytest.approx(2.0)
         assert "latency" in snapshot and "words_per_s" in snapshot
+
+
+class TestSnapshotConsistency:
+    def test_histogram_readers_race_recorders(self):
+        """count/percentile/summary must hold the lock (REP202 fixes)."""
+        import threading
+
+        histogram = LatencyHistogram()
+        stop = threading.Event()
+        errors = []
+
+        def record():
+            value = 1.0e-5
+            while not stop.is_set():
+                histogram.record(value)
+                value *= 1.0000001
+
+        def read():
+            try:
+                while not stop.is_set():
+                    assert histogram.count >= 0
+                    summary = histogram.summary()
+                    # The locked snapshot keeps the invariant p99 <= max.
+                    assert summary["p99_s"] <= summary["max_s"] + 1e-12
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        writer = threading.Thread(target=record)
+        reader = threading.Thread(target=read)
+        writer.start()
+        reader.start()
+        stop_after = 0.2
+        writer.join(timeout=stop_after)
+        stop.set()
+        writer.join(timeout=30.0)
+        reader.join(timeout=30.0)
+        assert errors == []
+
+    def test_rate_meter_total_is_locked(self):
+        import threading
+
+        meter = RateMeter(window_s=100.0)
+        threads = [
+            threading.Thread(
+                target=lambda: [meter.add(1) for _ in range(1000)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert meter.total == 4000

@@ -151,3 +151,87 @@ class TestLinkSession:
     def test_bad_codec_spec_becomes_config_error(self):
         with pytest.raises(LinkConfigError, match="unknown codec kind"):
             LinkSession(make_config(codecs=[{"kind": "nope"}]))
+
+
+class TestReportingConcurrency:
+    def test_energy_report_races_reset(self):
+        """energy_report must snapshot both accounts under the lock.
+
+        Regression test for the REP2xx fix: reset() rebinds the two
+        accounts, so an unlocked reporter could price a coded stream
+        against the *new* empty uncoded account and report nonsense
+        savings. A consistent snapshot reports either both-old or
+        both-new, never a mix.
+        """
+        import threading
+
+        session = LinkSession(
+            LinkConfig.from_dict(
+                {"width": 8, "geometry": dict(GEOMETRY_SPEC),
+                 "codecs": [{"kind": "gray"}]}
+            )
+        )
+        rng = np.random.default_rng(11)
+        words = rng.integers(0, 256, 512)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                session.encode(words)
+                session.reset()
+
+        def report():
+            try:
+                while not stop.is_set():
+                    report_dict = session.energy_report()
+                    coded = report_dict["coded"]["n_samples"]
+                    uncoded = report_dict["uncoded"]["n_samples"]
+                    # Both accounts always describe the same stream.
+                    assert coded == uncoded
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        worker = threading.Thread(target=churn)
+        reader = threading.Thread(target=report)
+        worker.start()
+        reader.start()
+        worker.join(timeout=0.3)
+        stop.set()
+        worker.join(timeout=30.0)
+        reader.join(timeout=30.0)
+        assert errors == []
+
+    def test_info_is_consistent_during_reset(self):
+        import threading
+
+        session = LinkSession(
+            LinkConfig.from_dict(
+                {"width": 8, "geometry": dict(GEOMETRY_SPEC)}
+            )
+        )
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                session.reset()
+
+        def read():
+            try:
+                while not stop.is_set():
+                    info = session.info()
+                    assert info["width_in"] == 8
+                    assert info["n_lines"] == GEOMETRY.n_tsvs
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        worker = threading.Thread(target=churn)
+        reader = threading.Thread(target=read)
+        worker.start()
+        reader.start()
+        worker.join(timeout=0.3)
+        stop.set()
+        worker.join(timeout=30.0)
+        reader.join(timeout=30.0)
+        assert errors == []

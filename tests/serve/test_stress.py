@@ -1,0 +1,106 @@
+"""Concurrency stress: 8 clients under fault injection, exact accounting.
+
+This is the regression test behind the REP2xx analysis pass: with
+``REPRO_FAULTS=slow_solve(0.005)`` every batch solve sleeps, widening the
+race windows the pass reasons about (metrics counters, energy accounts,
+the shared codebook cache, the process-global fault plan). The assertions
+are exact — word counts add up and every link's reported energy is
+bit-identical to the offline model — so a silent race shows up as a hard
+failure, not noise.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.fastpower import CompiledPowerModel
+from repro.datagen.util import words_to_bits
+from repro.experiments.common import cap_model_for
+from repro.serve import BackgroundServer, LinkClient, build_chain
+from repro.stats.switching import BitStatistics
+from repro.tsv.geometry import TSVArrayGeometry
+
+GEOMETRY_SPEC = {"rows": 3, "cols": 3, "pitch": 4.0e-6, "radius": 1.0e-6}
+GEOMETRY = TSVArrayGeometry(**GEOMETRY_SPEC)
+
+N_CLIENTS = 8
+N_WORDS = 4096
+WIDTH = 8
+CODECS = [{"kind": "gray"}, {"kind": "businvert"}]
+
+
+def _drive_link(address, index, errors):
+    """One client: own connection, own link, encode + decode roundtrip."""
+    try:
+        words = np.random.default_rng(2018 + index).integers(
+            0, 1 << WIDTH, N_WORDS
+        )
+        with LinkClient.connect(address) as client:
+            client.create_link(
+                f"stress-{index}",
+                {
+                    "width": WIDTH,
+                    "geometry": dict(GEOMETRY_SPEC),
+                    "codecs": [dict(spec) for spec in CODECS],
+                },
+            )
+            coded = client.stream(
+                f"stress-{index}", words, chunk_words=512
+            )
+            back = client.stream(
+                f"stress-{index}", coded, op="decode", chunk_words=512
+            )
+        np.testing.assert_array_equal(back, words)
+    except Exception as exc:  # noqa: BLE001 - surfaced in the main thread
+        errors.append((index, exc))
+
+
+def test_eight_concurrent_clients_under_slow_solve(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "slow_solve(0.005)")
+    errors = []
+    with BackgroundServer() as server:
+        threads = [
+            threading.Thread(
+                target=_drive_link,
+                args=(server.address, index, errors),
+                name=f"stress-client-{index}",
+            )
+            for index in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not any(t.is_alive() for t in threads), "client hung"
+        assert errors == [], errors
+
+        with LinkClient.connect(server.address) as client:
+            for index in range(N_CLIENTS):
+                stats = client.stats(f"stress-{index}")
+                metrics = stats["metrics"]
+                # Exact word accounting despite interleaved batches.
+                assert metrics["words_encoded"] == N_WORDS
+                assert metrics["words_decoded"] == N_WORDS
+                assert metrics["errors"] == 0
+
+                # Energy must match the offline model on the same stream.
+                words = np.random.default_rng(2018 + index).integers(
+                    0, 1 << WIDTH, N_WORDS
+                )
+                chain = build_chain(CODECS, WIDTH, geometry=GEOMETRY)
+                coded = chain.encode(words)
+                bits = np.zeros(
+                    (N_WORDS, GEOMETRY.n_tsvs), dtype=np.uint8
+                )
+                bits[:, : chain.width_out] = words_to_bits(
+                    coded, chain.width_out
+                )
+                offline = CompiledPowerModel(
+                    BitStatistics.from_stream(bits), cap_model_for(GEOMETRY)
+                ).power()
+                reported = stats["energy"]["coded"]
+                assert reported["n_samples"] == N_WORDS
+                assert reported["normalized_power_farad"] == pytest.approx(
+                    offline, rel=1e-12
+                )

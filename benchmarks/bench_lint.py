@@ -1,12 +1,12 @@
-"""Analyzer speed: shallow lint, deep shape/unit pass, concurrency pass.
+"""Analyzer speed: shallow lint, shape/unit, concurrency, exactness.
 
-All three run in CI and pre-commit on every change, so their wall time
+All four run in CI and pre-commit on every change, so their wall time
 over ``src/repro`` belongs in the bench trajectory next to the physics
 kernels: a regression here slows every contributor.  The concurrency
-pass additionally carries an explicit wall-time budget (2 s over the
-package) — its fixpoints (may-block closure, transitive acquisitions,
-private-helper lockset refinement) are the part most likely to blow up
-as the tree grows.
+and exactness passes additionally carry explicit wall-time budgets
+(2 s each over the package) — their fixpoints (may-block closure,
+transitive acquisitions, memoized interprocedural summaries) are the
+parts most likely to blow up as the tree grows.
 
 Run:  PYTHONPATH=src python benchmarks/bench_lint.py [--quick]
 Writes BENCH_lint.json next to the working directory.  Exits non-zero
@@ -23,6 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.concurrency import analyze_threads
+from repro.analysis.exactness import analyze_exactness
 from repro.analysis.flow import analyze_paths
 from repro.analysis.linter import iter_python_files, lint_paths
 
@@ -32,6 +33,11 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 #: best-of-repeats).  Generous against the ~1 s measured cost so CI
 #: noise does not trip it, tight enough to catch a quadratic blowup.
 THREAD_BUDGET_S = 2.0
+
+#: Same deal for the exactness pass (REP301..REP306): its memoized
+#: function summaries are linear today (~1.3 s measured); the budget
+#: catches a recursion-guard or summary-invalidation regression.
+EXACT_BUDGET_S = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +62,12 @@ def test_deep_lint_src(benchmark, src_tree):
 def test_thread_lint_src(benchmark, src_tree):
     """Concurrency pass REP201..REP206 over the package."""
     findings = benchmark(analyze_threads, src_tree)
+    assert findings == []
+
+
+def test_exact_lint_src(benchmark, src_tree):
+    """Exactness/determinism pass REP301..REP306 over the package."""
+    findings = benchmark(analyze_exactness, src_tree)
     assert findings == []
 
 
@@ -87,6 +99,7 @@ def main(argv=None) -> int:
         ("shallow", lint_paths, None),
         ("flow", analyze_paths, None),
         ("threads", analyze_threads, THREAD_BUDGET_S),
+        ("exact", analyze_exactness, EXACT_BUDGET_S),
     )
 
     report = {

@@ -1,0 +1,130 @@
+"""Append this checkout's headline benchmark numbers to TRAJECTORY.jsonl.
+
+Each PR lands with freshly regenerated ``BENCH_optimize.json``,
+``BENCH_serve.json`` and ``BENCH_lint.json`` baselines (the committed
+copies live in ``benchmarks/baselines/``); this script
+distills them into one JSON line per revision so the repo carries its
+own performance history — `evals/s` for the annealer fast path,
+`words/s` for the online codec service, `files/s` for every analyzer
+pass — without anyone having to diff the full reports.
+
+Run (after the three benchmarks):
+
+    PYTHONPATH=src python benchmarks/bench_optimize.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_lint.py --quick
+    python benchmarks/trajectory.py
+
+Exits non-zero when a BENCH file is missing or malformed, so a CI
+trajectory step cannot silently append a hole.
+"""
+
+import argparse
+import json
+import subprocess
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+TRAJECTORY = HERE / "TRAJECTORY.jsonl"
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=HERE,
+        ).stdout.strip()
+        return out or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _load(path: Path) -> dict:
+    with open(path) as source:
+        return json.load(source)
+
+
+def optimize_headline(report: dict) -> dict:
+    """Annealer throughput on the largest benchmarked problem."""
+    rows = report["results"]
+    top = max(rows, key=lambda row: row["n"])
+    return {
+        "n": top["n"],
+        "sa_evals_per_s": top["sa_evaluations"] / top["sa_fast_s"],
+        "sa_speedup": top["sa_speedup"],
+        "sa_identical": top["sa_identical"],
+    }
+
+
+def serve_headline(report: dict) -> dict:
+    """Codec service throughput at the no-batching-window operating point."""
+    rows = report["results"]
+    base = min(rows, key=lambda row: row["window_ms"])
+    return {
+        "window_ms": base["window_ms"],
+        "encode_words_per_s": base["encode_words_per_s"],
+        "decode_words_per_s": base["decode_words_per_s"],
+        "round_trip_exact": base["round_trip_exact"],
+        "energy_exact": base["energy_exact"],
+    }
+
+
+def lint_headline(report: dict) -> dict:
+    """Per-pass analyzer throughput over src/repro."""
+    passes = {
+        row["pass"]: {
+            "files_per_s": row["files_per_s"],
+            "clean": row["clean"],
+        }
+        for row in report["results"]
+    }
+    return {"n_files": report["n_files"], "passes": passes}
+
+
+def build_entry(bench_dir: Path) -> dict:
+    return {
+        "revision": git_revision(),
+        "optimize": optimize_headline(_load(bench_dir / "BENCH_optimize.json")),
+        "serve": serve_headline(_load(bench_dir / "BENCH_serve.json")),
+        "lint": lint_headline(_load(bench_dir / "BENCH_lint.json")),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir", default=".",
+        help="directory holding the three BENCH_*.json reports",
+    )
+    parser.add_argument(
+        "--output", default=str(TRAJECTORY),
+        help="trajectory file to append to",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the entry without appending",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        entry = build_entry(Path(args.bench_dir))
+    except FileNotFoundError as exc:
+        print(f"missing benchmark report: {exc.filename}")
+        print("run bench_optimize.py, bench_serve.py and bench_lint.py first")
+        return 1
+    except (KeyError, ValueError) as exc:
+        print(f"malformed benchmark report: {exc!r}")
+        return 1
+
+    line = json.dumps(entry, sort_keys=True)
+    print(line)
+    if not args.dry_run:
+        with open(args.output, "a") as sink:
+            sink.write(line + "\n")
+        print(f"appended to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,27 @@ Three ``@``-prefixed keys feed the concurrency pass
 ``"@blocking": ["funcname"]``
     declares callables that may block indefinitely (so calling them
     while holding a lock is REP204).
+
+Three more feed the exactness/determinism pass
+(:mod:`repro.analysis.exactness`):
+
+``"@exact": ["ClassName.attr", "ClassName.method param", "func return"]``
+    declares exact-integer sinks. A single dotted token names an
+    instance attribute that must only ever hold exact-int values (and is
+    in turn *assumed* exact when read); ``"<callable> <param>"`` marks
+    one parameter, ``"<callable> return"`` the returned value.
+``"@deterministic": ["func", "ClassName.method", "Class.save payload"]``
+    declares determinism sinks: the named callable's result (or the
+    named parameter — typically a checkpoint/report payload) must not
+    depend on set iteration order, wall-clock time, or float-key
+    tie-breaks.
+``"@order_sensitive": ["funcname"]``
+    declares callables whose float result depends on operand order
+    (custom accumulation loops); their results trip REP304 when they
+    reach an ``@exact`` sink.
+
+Malformed entries of any directive raise ``ValueError`` at registry
+build time, exactly like ``@guards``.
 """
 
 from __future__ import annotations
@@ -64,6 +85,9 @@ ANNOTATED_MODULES = (
     "repro.stats.switching",
     "repro.core.assignment",
     "repro.core.power",
+    "repro.core.fastpower",
+    "repro.core.optimize",
+    "repro.reporting",
     "repro.tsv.matrices",
     "repro.tsv.capmodel",
     "repro.tsv.extractor",
@@ -81,6 +105,13 @@ ANNOTATED_MODULES = (
 )
 
 SpecDict = Mapping[str, str]
+
+
+def _dotted_identifier(token: str) -> bool:
+    """True for ``name``, ``Class.attr``, ``pkg.mod.func`` style tokens."""
+    return bool(token) and all(
+        part.isidentifier() for part in token.split(".")
+    )
 
 
 def _parse_single(spec: str) -> AbstractValue:
@@ -170,6 +201,13 @@ class SignatureRegistry:
         self.guards: Dict[str, str] = {}  # field id -> lock id
         self.thread_entries: set = set()  # "Class", "Class.m", "func"
         self.blocking: set = set()  # callables that may block
+        # Exactness/determinism facts (repro.analysis.exactness):
+        self.exact_attrs: set = set()  # "Class.attr" exact-int fields
+        self.exact_returns: set = set()  # callables returning exact ints
+        self.exact_params: Dict[str, set] = {}  # callable -> {param, ...}
+        self.deterministic_returns: set = set()  # callables w/ det. results
+        self.deterministic_params: Dict[str, set] = {}  # callable -> params
+        self.order_sensitive: set = set()  # order-dependent float reducers
 
     # -- population -----------------------------------------------------------
 
@@ -213,8 +251,79 @@ class SignatureRegistry:
             self.thread_entries.update(str(entry) for entry in spec)
         elif key == "@blocking":
             self.blocking.update(str(entry) for entry in spec)
+        elif key in ("@exact", "@deterministic"):
+            for entry in spec:
+                self._add_exactness_sink(module_name, key, entry)
+        elif key == "@order_sensitive":
+            for entry in spec:
+                name = str(entry)
+                if len(name.split()) != 1 or not _dotted_identifier(name):
+                    raise ValueError(
+                        f"malformed @order_sensitive entry {entry!r}: "
+                        "expected a single callable name"
+                    )
+                self.order_sensitive.add(name)
+                if module_name:
+                    self.order_sensitive.add(f"{module_name}.{name}")
         else:
             raise ValueError(f"unknown registry directive {key!r}")
+
+    def _add_exactness_sink(
+        self, module_name: str, key: str, entry: str
+    ) -> None:
+        """Fold one ``@exact`` / ``@deterministic`` entry in.
+
+        One token names a sink directly: a dotted, capitalized head is an
+        instance attribute (``"EnergyAccount._gram"``), anything else a
+        callable whose *return value* is the sink. Two tokens name a
+        callable plus one of its parameters (or the pseudo-parameter
+        ``return``): ``"CheckpointStore.save payload"``.
+        """
+        tokens = str(entry).split()
+        if not tokens or len(tokens) > 2 or not all(
+            _dotted_identifier(t) for t in tokens
+        ):
+            raise ValueError(
+                f"malformed {key} entry {entry!r}: expected "
+                "'<Class.attr>', '<callable>', '<callable> <param>' or "
+                "'<callable> return'"
+            )
+        if key == "@exact":
+            attrs, returns, params = (
+                self.exact_attrs, self.exact_returns, self.exact_params
+            )
+        else:
+            attrs, returns, params = (
+                self.deterministic_returns,  # single callables: return sinks
+                self.deterministic_returns,
+                self.deterministic_params,
+            )
+        name = tokens[0]
+        names = [name]
+        if module_name:
+            names.append(f"{module_name}.{name}")
+        if len(tokens) == 1:
+            head = name.split(".")[0]
+            if key == "@exact":
+                if "." not in name or not head[:1].isupper():
+                    raise ValueError(
+                        f"malformed @exact entry {entry!r}: a bare token "
+                        "must name a 'Class.attr' field; use "
+                        f"'{name} return' for a return sink"
+                    )
+                attrs.update(names)
+            elif "." in name and head[:1].isupper() and name.count(".") == 1:
+                # "Class.attr" is ambiguous between a field and a method;
+                # register both readings — the analyzer checks whichever
+                # kind the name turns out to be.
+                self.deterministic_returns.update(names)
+            else:
+                returns.update(names)
+        elif tokens[1] == "return":
+            returns.update(names)
+        else:
+            for alias in names:
+                params.setdefault(alias, set()).add(tokens[1])
 
     def _add_guard(self, module_name: str, entry: str) -> None:
         parts = str(entry).split()

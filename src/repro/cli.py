@@ -20,8 +20,9 @@ Subcommands
     Run the repo-specific static linter (rules ``REP001`` .. ``REP005``,
     see ``docs/static_analysis.md``) over files or directories; exits
     non-zero when findings remain, so CI can gate on it. ``--deep`` adds
-    the interprocedural shape/unit inference pass (``REP101`` ..
-    ``REP104``), and ``--format sarif|github`` emits CI-native output.
+    the interprocedural shape/unit (``REP101``..), concurrency
+    (``REP201``..) and exactness/determinism (``REP301``..) passes, and
+    ``--format sarif|github`` emits CI-native output.
 ``serve``
     Run the batched online encode/decode server for coded TSV links
     (see ``docs/serving.md``) until interrupted. Links are created by
@@ -265,6 +266,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         output_format=args.format,
         deep=args.deep,
         threads=args.threads,
+        exact=args.exact,
         exclude=args.exclude,
     )
 
@@ -427,7 +429,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint = sub.add_parser(
         "lint",
         help="run the repo-specific static linter (REP001..REP007; "
-             "--threads adds REP201..REP206, --deep adds both deep passes)",
+             "--threads adds REP201..REP206, --exact adds REP301..REP306, "
+             "--deep adds every deep pass)",
     )
     p_lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -437,11 +440,15 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("text", "json", "sarif", "github"))
     p_lint.add_argument(
         "--deep", action="store_true",
-        help="also run the interprocedural shape/unit + concurrency passes",
+        help="also run the shape/unit, concurrency and exactness passes",
     )
     p_lint.add_argument(
         "--threads", action="store_true",
         help="also run the concurrency-safety pass (REP201..REP206)",
+    )
+    p_lint.add_argument(
+        "--exact", action="store_true",
+        help="also run the exactness/determinism pass (REP301..REP306)",
     )
     p_lint.add_argument(
         "--exclude", action="append", default=[], metavar="PATH",

@@ -537,4 +537,10 @@ REPRO_SIGNATURES = {
     },
     "SearchState.assignment": {"return": "SignedPermutation"},
     "SearchState.power": "scalar farad",
+    # Exactness discipline (REP3xx): compiled evaluations back the
+    # fast/naive parity gate, so they must be pure functions of the
+    # model and assignment — and their batched float contractions are
+    # order-sensitive, never to be folded into an exact-int tally.
+    "@order_sensitive": ["CompiledPowerModel.power"],
+    "@deterministic": ["CompiledPowerModel.compile"],
 }

@@ -159,4 +159,9 @@ REPRO_SIGNATURES = {
     "PowerModel.cap_model": "LinearCapacitanceModel",
     "PowerModel.cap_matrix": "(N, N) farad spice",
     "PowerModel.n_lines": "scalar dimensionless",
+    # Eq. 3 collapses T_s/T_c against C in one float contraction whose
+    # result depends on summation order — it must never feed an
+    # exact-int accumulator, and model evaluations must be reproducible.
+    "@order_sensitive": ["normalized_power"],
+    "@deterministic": ["PowerModel.power"],
 }

@@ -306,4 +306,14 @@ REPRO_SIGNATURES = {
     "Checkpoint.step": "scalar dimensionless",
     "payload_digest": {"payload": "any", "return": "any"},
     "encode_rng_state": {"rng": "any", "return": "any"},
+    # Exactness discipline (REP3xx): checkpoint payloads and the run
+    # fingerprint are replayed byte-for-byte on resume — a wall-clock
+    # stamp or set-ordered field would defeat bit-identical restarts.
+    "@deterministic": [
+        "CheckpointStore.save payload",
+        "CheckpointStore fingerprint",
+        "encode_rng_state",
+        "jsonify",
+        "payload_digest",
+    ],
 }

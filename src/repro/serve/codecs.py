@@ -631,4 +631,11 @@ REPRO_SIGNATURES = {
         "return": "CodecChain",
     },
     "parse_codec_spec": {"text": "any"},
+    # Exactness discipline (REP3xx): codeword streams on the wire are
+    # exact integer words — a float temporary anywhere in a chain round
+    # trip would corrupt the transition counts downstream.
+    "@exact": [
+        "CodecChain.encode return",
+        "CodecChain.decode return",
+    ],
 }

@@ -402,4 +402,17 @@ REPRO_SIGNATURES = {
         "EnergyAccount._n_samples guarded_by _lock",
         "EnergyAccount._last guarded_by _lock",
     ],
+    # Exactness discipline (REP3xx): the energy tallies are the paper's
+    # integer statistic — float contamination would break the bit-exact
+    # online-vs-offline agreement the serve layer guarantees — and the
+    # derived statistics/report must be reproducible for a given stream.
+    "@exact": [
+        "EnergyAccount._gram",
+        "EnergyAccount._ones",
+        "EnergyAccount._n_samples",
+    ],
+    "@deterministic": [
+        "EnergyAccount.statistics",
+        "EnergyAccount.report",
+    ],
 }

@@ -352,4 +352,8 @@ REPRO_SIGNATURES = {
         "LinkSession.coded_energy guarded_by _lock",
         "LinkSession.uncoded_energy guarded_by _lock",
     ],
+    # Exactness discipline (REP3xx): the energy report feeds client
+    # responses and the bench_serve online-vs-offline gate — it must be
+    # identical for identical word streams.
+    "@deterministic": ["LinkSession.energy_report"],
 }

@@ -187,4 +187,8 @@ REPRO_SIGNATURES = {
     "BitStatistics.t_c": "(N, N) dimensionless",
     "BitStatistics.t_matrix": "(N, N) dimensionless",
     "BitStatistics.epsilon": "(N,) dimensionless",
+    # Validated streams are exact 0/1 integers; the statistics derived
+    # from one stream must be reproducible run to run.
+    "@exact": ["validate_bit_stream return"],
+    "@deterministic": ["BitStatistics.from_stream"],
 }

@@ -1,0 +1,13 @@
+"""REP301: an @exact accumulator picks up a float through division."""
+
+
+class Counter:
+    def __init__(self):
+        self._total = 0
+
+    def add(self, xs):
+        weight = len(xs) / 2
+        self._total = self._total + weight  # expect: REP301
+
+
+REPRO_SIGNATURES = {"@exact": ["Counter._total"]}

@@ -1,0 +1,5 @@
+"""Helper half of the cross-module contamination pair (no sinks here)."""
+
+
+def mean_rate(total, count):
+    return total / count

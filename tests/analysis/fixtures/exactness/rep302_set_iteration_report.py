@@ -1,0 +1,18 @@
+"""REP302: unordered set iteration decides serialized report content."""
+
+
+def summarize(samples):
+    seen = set(samples)
+    labels = [str(x) for x in seen]  # expect: REP302
+    return {"labels": labels}
+
+
+def summarize_sorted(samples):
+    seen = set(samples)
+    labels = [str(x) for x in sorted(seen)]
+    return {"labels": labels}
+
+
+REPRO_SIGNATURES = {
+    "@deterministic": ["summarize", "summarize_sorted"],
+}

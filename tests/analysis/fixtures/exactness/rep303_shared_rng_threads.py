@@ -1,0 +1,31 @@
+"""REP303: one RNG handed to several threads without a spawn split."""
+
+import threading
+
+import numpy as np
+
+
+def _chain(chain_rng):
+    return chain_rng.random()
+
+
+def run_chains_shared(n):
+    rng = np.random.default_rng(7)
+    threads = []
+    for _ in range(n):
+        worker = threading.Thread(target=_chain, args=(rng,))  # expect: REP303
+        threads.append(worker)
+        worker.start()
+    for worker in threads:
+        worker.join()
+
+
+def run_chains_spawned(n):
+    rng = np.random.default_rng(7)
+    threads = []
+    for chain_rng in rng.spawn(n):
+        worker = threading.Thread(target=_chain, args=(chain_rng,))
+        threads.append(worker)
+        worker.start()
+    for worker in threads:
+        worker.join()

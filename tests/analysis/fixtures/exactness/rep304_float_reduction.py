@@ -1,0 +1,34 @@
+"""REP304: order-sensitive float accumulation reaching @exact sinks."""
+
+import numpy as np
+
+
+def total_charge(weights):
+    scaled = np.asarray(weights, dtype=np.float64)
+    return np.sum(scaled)  # expect: REP304
+
+
+def running_sum(values):
+    total = 0.0
+    for value in values:
+        total = total + value
+    return total
+
+
+def total_drift(values):
+    return running_sum(values)  # expect: REP304
+
+
+def total_count(flags):
+    bits = np.asarray(flags, dtype=np.int64)
+    return np.sum(bits)  # integer reduction: exact, order-free
+
+
+REPRO_SIGNATURES = {
+    "@exact": [
+        "total_charge return",
+        "total_drift return",
+        "total_count return",
+    ],
+    "@order_sensitive": ["running_sum"],
+}

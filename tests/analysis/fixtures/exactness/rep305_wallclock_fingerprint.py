@@ -1,0 +1,31 @@
+"""REP305: wall-clock values embedded in checkpoint payloads."""
+
+import time
+
+
+class Store:
+    def __init__(self):
+        self.saved = None
+
+    def save(self, name, payload):
+        self.saved = (name, payload)
+
+
+class RunLog:
+    def __init__(self, fingerprint):
+        self.fingerprint = fingerprint
+
+
+def checkpoint(store, step):
+    payload = {"step": step, "stamp": time.time()}  # expect: REP305
+    store.save("anneal", payload)
+
+
+def start_run(geometry):
+    stamp = time.time()  # expect: REP305
+    return RunLog({"geometry": geometry, "started": stamp})
+
+
+REPRO_SIGNATURES = {
+    "@deterministic": ["Store.save payload", "RunLog fingerprint"],
+}

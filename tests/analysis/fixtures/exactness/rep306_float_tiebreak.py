@@ -1,0 +1,19 @@
+"""REP306: argmin on float keys decides a deterministic result."""
+
+import numpy as np
+
+
+def pick_best(scores):
+    values = np.asarray(scores, dtype=np.float64)
+    best = int(np.argmin(values))  # expect: REP306
+    return best
+
+
+def pick_first_index(counts):
+    values = np.asarray(counts, dtype=np.int64)
+    return int(np.argmin(values))  # integer keys: ties are stable
+
+
+REPRO_SIGNATURES = {
+    "@deterministic": ["pick_best", "pick_first_index"],
+}

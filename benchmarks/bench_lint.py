@@ -9,7 +9,8 @@ transitive acquisitions, memoized interprocedural summaries) are the
 parts most likely to blow up as the tree grows.
 
 Run:  PYTHONPATH=src python benchmarks/bench_lint.py [--quick]
-Writes BENCH_lint.json next to the working directory.  Exits non-zero
+Writes ``benchmarks/BENCH_lint.json`` (gitignored; the committed seed
+baselines live in ``benchmarks/baselines/``).  Exits non-zero
 when any pass reports findings on the tree or the concurrency pass
 misses its budget, so CI can gate on analyzer health without gating on
 raw machine speed for the unbudgeted passes.
@@ -90,7 +91,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=None,
                         help="timed runs per pass (best is reported)")
-    parser.add_argument("--output", default="BENCH_lint.json")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent / "BENCH_lint.json"),
+        help="report destination (default: the benchmarks/ directory)",
+    )
     args = parser.parse_args(argv)
     repeats = args.repeats or (2 if args.quick else 5)
 

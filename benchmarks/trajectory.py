@@ -1,12 +1,12 @@
 """Append this checkout's headline benchmark numbers to TRAJECTORY.jsonl.
 
-Each PR lands with freshly regenerated ``BENCH_optimize.json``,
-``BENCH_serve.json`` and ``BENCH_lint.json`` baselines (the committed
-copies live in ``benchmarks/baselines/``); this script
-distills them into one JSON line per revision so the repo carries its
-own performance history — `evals/s` for the annealer fast path,
-`words/s` for the online codec service, `files/s` for every analyzer
-pass — without anyone having to diff the full reports.
+The bench scripts write ``BENCH_optimize.json``, ``BENCH_serve.json``
+and ``BENCH_lint.json`` into ``benchmarks/`` (gitignored; the frozen
+seed baselines live in ``benchmarks/baselines/``); this script distills
+them into one JSON line per revision so the repo carries its own
+performance history — `evals/s` for the annealer fast path, `words/s`
+for the online codec service, `files/s` for every analyzer pass —
+without anyone having to diff the full reports.
 
 Run (after the three benchmarks):
 
@@ -16,7 +16,11 @@ Run (after the three benchmarks):
     python benchmarks/trajectory.py
 
 Exits non-zero when a BENCH file is missing or malformed, so a CI
-trajectory step cannot silently append a hole.
+trajectory step cannot silently append a hole. With
+``--min-encode-speedup R`` it additionally fails when the serve layer's
+steady-state encode rate has fallen below ``R`` times the frozen seed
+baseline in ``benchmarks/baselines/BENCH_serve.json`` — the regression
+gate for the vectorized codec kernels.
 """
 
 import argparse
@@ -26,6 +30,7 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 TRAJECTORY = HERE / "TRAJECTORY.jsonl"
+BASELINES = HERE / "baselines"
 
 
 def git_revision() -> str:
@@ -94,7 +99,7 @@ def build_entry(bench_dir: Path) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--bench-dir", default=".",
+        "--bench-dir", default=str(HERE),
         help="directory holding the three BENCH_*.json reports",
     )
     parser.add_argument(
@@ -104,6 +109,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dry-run", action="store_true",
         help="print the entry without appending",
+    )
+    parser.add_argument(
+        "--min-encode-speedup", type=float, default=None, metavar="R",
+        help="fail unless serve encode_words_per_s is at least R times "
+             "the frozen seed baseline (benchmarks/baselines/)",
     )
     args = parser.parse_args(argv)
 
@@ -116,6 +126,23 @@ def main(argv=None) -> int:
     except (KeyError, ValueError) as exc:
         print(f"malformed benchmark report: {exc!r}")
         return 1
+
+    if args.min_encode_speedup is not None:
+        try:
+            seed = serve_headline(_load(BASELINES / "BENCH_serve.json"))
+        except (FileNotFoundError, KeyError, ValueError) as exc:
+            print(f"cannot load the frozen serve baseline: {exc!r}")
+            return 1
+        rate = entry["serve"]["encode_words_per_s"]
+        ratio = rate / seed["encode_words_per_s"]
+        print(
+            f"encode speedup over seed baseline: {ratio:.1f}x "
+            f"({rate:,.0f} vs {seed['encode_words_per_s']:,.0f} words/s, "
+            f"gate {args.min_encode_speedup:.1f}x)"
+        )
+        if ratio < args.min_encode_speedup:
+            print("ENCODE SPEEDUP GATE FAILED")
+            return 1
 
     line = json.dumps(entry, sort_keys=True)
     print(line)

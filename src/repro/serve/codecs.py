@@ -22,16 +22,28 @@ plain ``words -> words`` map and codecs compose into a
 Codecs are built from JSON-able *specs* (``{"kind": "gray",
 "negated": true}``); :func:`parse_codec_spec` additionally accepts the
 CLI shorthand ``"correlator:channels=4,negated"``.
+
+Every codec encodes a chunk as NumPy batch kernels — no per-word Python
+loop. The gray/correlator transforms are array ops outright; the invert
+codes' sequential decisions collapse to :func:`_invert_state_walk`, a
+prefix scan over the one-bit decision state. The per-word reference
+loops are retained (``_encode_scalar``) and proven bit-identical by the
+parity suite; ``REPRO_SCALAR_CODECS=1`` swaps them back in.
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.coding.businvert import _popcount, coupling_transition_cost
+from repro.coding.businvert import (
+    _popcount,
+    coupling_transition_cost,
+    coupling_transition_costs,
+)
 from repro.tsv.geometry import TSVArrayGeometry
 
 #: Widest word the int64 codecs support; wider streams must be split
@@ -62,6 +74,51 @@ def _check_words(words: np.ndarray, width: int) -> np.ndarray:
     if len(words) and ((words < 0) | (words >= (1 << width))).any():
         raise ValueError(f"words outside unsigned range for width {width}")
     return words
+
+
+def _use_scalar_kernels() -> bool:
+    """Whether codecs should run their per-word reference loops.
+
+    The batch kernels below are bit-identical to the scalar loops (the
+    parity suite in ``tests/serve/test_codec_parity.py`` proves it on
+    random words, widths and chunk splits), but the loops remain the
+    ground truth: set ``REPRO_SCALAR_CODECS=1`` to serve through them,
+    e.g. to bisect a suspect kernel on a very wide bus.
+    """
+    return os.environ.get("REPRO_SCALAR_CODECS", "") not in ("", "0")
+
+
+def _invert_state_walk(
+    if_plain: np.ndarray, if_inverted: np.ndarray, carry: bool
+) -> np.ndarray:
+    """Resolve a chain of sequential invert decisions in O(T) array ops.
+
+    The invert codes decide per word whether to transmit the complement,
+    and each decision conditions on the *previous* decision (through the
+    previously transmitted bus state). That recurrence looks inherently
+    serial, but the state is a single bit, so word ``t`` is fully
+    described by two precomputable booleans: ``if_plain[t]`` /
+    ``if_inverted[t]``, its decision assuming word ``t - 1`` went out
+    plain / inverted (position 0 conditions on ``carry``, the flag that
+    crossed the chunk boundary). Each position is then one of four
+    transfer functions of the previous flag — constant 0, constant 1,
+    hold, or toggle — and composing transfer functions collapses to a
+    prefix scan: an XOR-parity accumulate over the toggles, re-anchored
+    at each position's most recent *constant* (found with a running
+    ``np.int64`` maximum over constant positions).
+    """
+    toggle = if_plain & ~if_inverted
+    parity = np.bitwise_xor.accumulate(toggle)
+    constant = if_plain == if_inverted
+    positions = np.where(
+        constant, np.arange(len(if_plain), dtype=np.int64), np.int64(-1)
+    )
+    anchor = np.maximum.accumulate(positions)
+    anchored = anchor >= 0
+    idx = np.maximum(anchor, 0)
+    base = np.where(anchored, if_plain[idx], np.bool_(carry))
+    base_parity = np.where(anchored, parity[idx], np.bool_(False))
+    return base ^ parity ^ base_parity
 
 
 class StreamCodec:
@@ -155,17 +212,6 @@ class CorrelatorCodec(StreamCodec):
         self._dec_primed = np.zeros(nc, dtype=bool)
         self._dec_phase = 0
 
-    def _channel_slices(self, phase: int, length: int) -> List[Tuple[int, np.ndarray]]:
-        """Per-channel local index arrays for a chunk at ``phase``."""
-        out = []
-        for channel in range(self.n_channels):
-            first = (channel - phase) % self.n_channels
-            if first < length:
-                out.append(
-                    (channel, np.arange(first, length, self.n_channels))
-                )
-        return out
-
     def encode(self, words: np.ndarray) -> np.ndarray:
         words = _check_words(words, self.width_in)
         length = len(words)
@@ -173,25 +219,28 @@ class CorrelatorCodec(StreamCodec):
             return words
         nc = self.n_channels
         mask = (1 << self.width_in) - 1
-        prev = np.empty(length, dtype=np.int64)
-        fresh = np.zeros(length, dtype=bool)
+        # Chunk position i (< nc) belongs to channel (phase + i) % nc; the
+        # first nc positions pull their predecessor from the carried
+        # per-channel history, everything after from the chunk itself.
         head = min(nc, length)
-        for i in range(head):
-            channel = (self._enc_phase + i) % nc
-            if self._enc_primed[channel]:
-                prev[i] = self._enc_prev[channel]
-            else:
-                prev[i] = 0
-                fresh[i] = True
+        head_channels = (self._enc_phase + np.arange(head)) % nc
+        primed = self._enc_primed[head_channels]
+        prev = np.empty(length, dtype=np.int64)
+        prev[:head] = np.where(primed, self._enc_prev[head_channels], 0)
         if length > nc:
             prev[nc:] = words[:-nc]
         out = words ^ prev
         if self.negated:
-            out[~fresh] ^= mask
-        # The last word of each channel becomes that channel's history.
-        for channel, idx in self._channel_slices(self._enc_phase, length):
-            self._enc_prev[channel] = words[idx[-1]]
-            self._enc_primed[channel] = True
+            out ^= mask
+            # The overall first word of each channel passes un-negated.
+            out[np.flatnonzero(~primed)] ^= mask
+        # The last occurrence of each channel in the chunk sits in the
+        # final min(nc, length) positions, one position per channel; those
+        # words become the carried history.
+        last = length - 1 - np.arange(head)
+        last_channels = (self._enc_phase + last) % nc
+        self._enc_prev[last_channels] = words[last]
+        self._enc_primed[last_channels] = True
         self._enc_phase = (self._enc_phase + length) % nc
         return out
 
@@ -200,24 +249,33 @@ class CorrelatorCodec(StreamCodec):
         length = len(coded)
         if length == 0:
             return coded
+        nc = self.n_channels
         mask = (1 << self.width_out) - 1
-        out = np.empty(length, dtype=np.int64)
+        head = min(nc, length)
+        head_channels = (self._dec_phase + np.arange(head)) % nc
+        primed = self._dec_primed[head_channels]
+        if self.negated:
+            values = coded ^ mask
+            # The overall first word of each channel arrived un-negated.
+            values[np.flatnonzero(~primed)] ^= mask
+        else:
+            values = coded
         # Decoding is a per-channel running XOR of the (un-negated) coded
-        # words: ``x[t] = y'[t] ^ x[t-nc]`` telescopes to an XOR prefix
-        # scan with the stored channel history as carry-in.
-        for channel, idx in self._channel_slices(self._dec_phase, length):
-            values = coded[idx].copy()
-            if self._dec_primed[channel]:
-                if self.negated:
-                    values ^= mask
-                values[0] ^= self._dec_prev[channel]
-            elif self.negated:
-                values[1:] ^= mask
-            decoded = np.bitwise_xor.accumulate(values)
-            out[idx] = decoded
-            self._dec_prev[channel] = decoded[-1]
-            self._dec_primed[channel] = True
-        self._dec_phase = (self._dec_phase + length) % self.n_channels
+        # words: ``x[t] = y'[t] ^ x[t - nc]`` telescopes to an XOR prefix
+        # scan with the stored channel history as carry-in. Laid out as a
+        # zero-padded (rounds, nc) grid — column j is channel
+        # (phase + j) % nc — all channels scan in one accumulate, with the
+        # histories as row 0.
+        rounds = -(-length // nc)
+        grid = np.zeros((rounds + 1, nc), dtype=np.int64)
+        grid[0, :head] = np.where(primed, self._dec_prev[head_channels], 0)
+        grid[1:].reshape(-1)[:length] = values
+        out = np.bitwise_xor.accumulate(grid, axis=0)[1:].reshape(-1)[:length]
+        last = length - 1 - np.arange(head)
+        last_channels = (self._dec_phase + last) % nc
+        self._dec_prev[last_channels] = out[last]
+        self._dec_primed[last_channels] = True
+        self._dec_phase = (self._dec_phase + length) % nc
         return out
 
     def spec(self) -> Dict[str, object]:
@@ -231,11 +289,16 @@ class CorrelatorCodec(StreamCodec):
 class BusInvertCodec(StreamCodec):
     """Classic bus-invert with the flag in band on line ``width``.
 
-    The per-word decision (invert when the Hamming distance to the
-    previously *transmitted* word exceeds ``width / 2``) is inherently
-    sequential; for buses up to ``_MAX_POPCOUNT_TABLE_BITS`` a
-    precomputed popcount table keeps the Python loop lean, wider buses
-    count bits per word.
+    The per-word decision — invert when ``2 * distance > width``, the
+    integer tie-exact form of "Hamming distance to the previously
+    *transmitted* word exceeds ``width / 2``" — conditions on the
+    previous decision, but only through one bit (whether word ``t - 1``
+    went out inverted), so a chunk encodes as a batch kernel: the raw
+    word-to-word distances price both branches of every decision at once
+    (popcount table for buses up to ``_MAX_POPCOUNT_TABLE_BITS`` bits,
+    SWAR popcount beyond) and :func:`_invert_state_walk` resolves the
+    decision chain without a Python loop. :meth:`_encode_scalar` keeps
+    the reference loop (see :func:`_use_scalar_kernels`).
     """
 
     kind = "businvert"
@@ -253,37 +316,65 @@ class BusInvertCodec(StreamCodec):
                 _popcount(np.arange(1 << width, dtype=np.int64)),
                 dtype=np.int64,
             )
+        self._scalar = _use_scalar_kernels()
         self.reset()
 
     def reset(self) -> None:
         self._enc_prev = 0  # previously transmitted data word
+        self._enc_flag = False  # whether it was the complement
 
     def encode(self, words: np.ndarray) -> np.ndarray:
         words = _check_words(words, self.width_in)
+        if self._scalar or len(words) == 0:
+            return self._encode_scalar(words)
         width = self.width_in
         mask = (1 << width) - 1
-        half = width / 2.0
+        flag_bit = 1 << width
+        # Distances between consecutive *raw* words; position 0 uses the
+        # carried word with its inversion undone. The distance to the
+        # actually transmitted predecessor is then ``d`` or ``width - d``
+        # depending on the previous flag — which is exactly the two-branch
+        # input of the state walk.
+        prev_raw = np.empty(len(words), dtype=np.int64)
+        prev_raw[0] = self._enc_prev ^ (mask if self._enc_flag else 0)
+        prev_raw[1:] = words[:-1]
+        diff = prev_raw ^ words
+        if self._popcount is not None:
+            doubled = 2 * self._popcount[diff]
+        else:
+            doubled = 2 * _popcount(diff)
+        invert = _invert_state_walk(
+            doubled > width, doubled < width, self._enc_flag
+        )
+        out = np.where(invert, (words ^ mask) | flag_bit, words)
+        self._enc_prev = int(out[-1]) & mask
+        self._enc_flag = bool(invert[-1])
+        return out
+
+    def _encode_scalar(self, words: np.ndarray) -> np.ndarray:
+        """Reference per-word loop; bit-identical to the batch kernel."""
+        width = self.width_in
+        mask = (1 << width) - 1
         popcount = self._popcount
         out = np.empty(len(words), dtype=np.int64)
         previous = self._enc_prev
+        flag = self._enc_flag
         flag_bit = 1 << width
-        if popcount is not None:
-            for t, word in enumerate(map(int, words)):
-                if popcount[previous ^ word] > half:
-                    previous = word ^ mask
-                    out[t] = previous | flag_bit
-                else:
-                    previous = word
-                    out[t] = word
-        else:
-            for t, word in enumerate(map(int, words)):
-                if bin(previous ^ word).count("1") > half:
-                    previous = word ^ mask
-                    out[t] = previous | flag_bit
-                else:
-                    previous = word
-                    out[t] = word
+        for t, word in enumerate(map(int, words)):
+            if popcount is not None:
+                distance = int(popcount[previous ^ word])
+            else:
+                distance = bin(previous ^ word).count("1")
+            if 2 * distance > width:
+                previous = word ^ mask
+                flag = True
+                out[t] = previous | flag_bit
+            else:
+                previous = word
+                flag = False
+                out[t] = word
         self._enc_prev = previous
+        self._enc_flag = flag
         return out
 
     def decode(self, coded: np.ndarray) -> np.ndarray:
@@ -323,9 +414,13 @@ class CouplingInvertCodec(StreamCodec):
 
     Minimizes the planar crosstalk cost of each bus transition, counting
     the flag wire adjacent to the MSB exactly as
-    :func:`repro.coding.businvert.coupling_invert_encode` does. For buses
-    up to ``_MAX_COST_TABLE_LINES`` lines the decision uses a precomputed
-    cost table; wider buses fall back to the reference cost function.
+    :func:`repro.coding.businvert.coupling_invert_encode` does. Encoding
+    runs as a batch kernel over the one-bit decision chain (see
+    :func:`_invert_state_walk`): for buses up to ``_MAX_COST_TABLE_LINES``
+    lines the costs come from a precomputed table, wider buses use the
+    vectorized :func:`~repro.coding.businvert.coupling_transition_costs`
+    bit tricks. :meth:`_encode_scalar` keeps the reference loop (see
+    :func:`_use_scalar_kernels`).
     """
 
     kind = "couplinginvert"
@@ -340,6 +435,7 @@ class CouplingInvertCodec(StreamCodec):
         self._table: Optional[np.ndarray] = None
         if width + 1 <= _MAX_COST_TABLE_LINES:
             self._table = _coupling_cost_table(width + 1)
+        self._scalar = _use_scalar_kernels()
         self.reset()
 
     def reset(self) -> None:
@@ -347,6 +443,48 @@ class CouplingInvertCodec(StreamCodec):
 
     def encode(self, words: np.ndarray) -> np.ndarray:
         words = _check_words(words, self.width_in)
+        if self._scalar or len(words) == 0:
+            return self._encode_scalar(words)
+        width = self.width_in
+        mask = (1 << width) - 1
+        flag_bit = 1 << width
+        # Word t's predecessor on the bus is one of two known states —
+        # word t-1 plain, or complemented with the flag raised — so both
+        # branches of every cost comparison price in batch (four table
+        # gathers, or four vectorized cost passes on wide buses) and the
+        # one-bit decision chain resolves with the state walk. Position 0
+        # compares against the carried bus state on both branches, making
+        # it a constant of the walk.
+        plain = words
+        inverted = (words ^ mask) | flag_bit
+        prev_plain = np.empty(len(words), dtype=np.int64)
+        prev_inverted = np.empty(len(words), dtype=np.int64)
+        prev_plain[0] = prev_inverted[0] = self._enc_prev
+        prev_plain[1:] = plain[:-1]
+        prev_inverted[1:] = inverted[:-1]
+        table = self._table
+        if table is not None:
+            if_plain = table[prev_plain, inverted] < table[prev_plain, plain]
+            if_inverted = (
+                table[prev_inverted, inverted] < table[prev_inverted, plain]
+            )
+        else:
+            lines = width + 1
+            if_plain = (
+                coupling_transition_costs(prev_plain, inverted, lines)
+                < coupling_transition_costs(prev_plain, plain, lines)
+            )
+            if_inverted = (
+                coupling_transition_costs(prev_inverted, inverted, lines)
+                < coupling_transition_costs(prev_inverted, plain, lines)
+            )
+        invert = _invert_state_walk(if_plain, if_inverted, False)
+        out = np.where(invert, inverted, plain)
+        self._enc_prev = int(out[-1])
+        return out
+
+    def _encode_scalar(self, words: np.ndarray) -> np.ndarray:
+        """Reference per-word loop; bit-identical to the batch kernel."""
         width = self.width_in
         mask = (1 << width) - 1
         flag_bit = 1 << width
@@ -362,7 +500,7 @@ class CouplingInvertCodec(StreamCodec):
                 else:
                     previous = word
                 out[t] = previous
-        else:  # pragma: no cover - exercised only on very wide buses
+        else:
             for t, word in enumerate(map(int, words)):
                 inverted = (word ^ mask) | flag_bit
                 if (coupling_transition_cost(previous, inverted, width + 1)

@@ -240,6 +240,12 @@ class LinkMetrics:
         return data
 
 
+#: Row cap per float32 Gram slab.  Partial sums inside one SGEMM are
+#: integers bounded by the slab length; 2**22 keeps them two orders of
+#: magnitude inside float32's exact-integer range (2**24).
+_GRAM_SLAB_ROWS = 1 << 22
+
+
 class EnergyAccount:
     """Exact online energy accounting of one physical bit stream.
 
@@ -287,9 +293,19 @@ class EnergyAccount:
             else:
                 extended = np.concatenate([self._last[None, :], bits])
             if extended.shape[0] >= 2:
-                deltas = np.diff(extended.astype(np.int8), axis=0)
-                deltas = deltas.astype(np.int64)
-                self._gram += deltas.T @ deltas
+                # Accumulate the transition Gram matrix through float32
+                # SGEMM.  The deltas are exactly 0/±1, every product is
+                # 0/±1, and each (blocked) partial sum is an integer
+                # bounded by the slab length (2**22) — far inside the
+                # 2**24 range where float32 holds integers exactly — so
+                # the product is bit-equal to the int64 one, summation
+                # order notwithstanding, at roughly 4x the throughput.
+                levels = extended.astype(np.float32)
+                deltas = levels[1:] - levels[:-1]
+                for lo in range(0, deltas.shape[0], _GRAM_SLAB_ROWS):
+                    slab = deltas[lo:lo + _GRAM_SLAB_ROWS]
+                    gram = slab.T @ slab
+                    self._gram += gram.astype(np.int64)  # repro: noqa[REP304] integer-valued float32 sums stay < 2**24, exact in any order
             self._ones += bits.sum(axis=0, dtype=np.int64)
             self._n_samples += bits.shape[0]
             self._last = bits[-1].copy()

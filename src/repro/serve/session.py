@@ -242,6 +242,14 @@ class LinkSession:
             )
         else:
             self.assignment = config.assignment
+        # Prime the chain once at link creation: the first encode pays
+        # one-time kernel warm-up (ufunc dispatch caches, lazy buffers)
+        # that would otherwise land inside the first served request's
+        # latency. reset() restores pristine codec histories, so served
+        # streams are unaffected.
+        self.chain.encode(np.zeros(1, dtype=np.int64))
+        self.chain.decode(np.zeros(1, dtype=np.int64))
+        self.chain.reset()
         capacitance = cap_model_for(geometry, config.cap_method)
         self.coded_energy = EnergyAccount(self.n_lines, capacitance)
         self.uncoded_energy = EnergyAccount(self.n_lines, capacitance)

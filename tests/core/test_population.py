@@ -1,0 +1,190 @@
+"""Population annealing: lockstep chains == the per-chain search, bit for bit.
+
+Two contracts:
+
+* :class:`PopulationState` prices and applies moves over a stacked
+  ``(chains, n)`` state matrix with results bit-identical to a
+  :class:`SearchState` per chain (same float op order, same memory
+  layout before each contraction);
+* ``simulated_annealing(..., population=True)`` returns the same best
+  power, assignment and evaluation count as ``population=False`` for
+  every chain, because both paths consume the same spawned seeds and
+  replicate the same batched-rejection proposal schedule.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import AssignmentConstraints, SignedPermutation
+from repro.core.fastpower import (
+    CompiledPowerModel,
+    PopulationState,
+    random_assignments,
+)
+from repro.core.optimize import simulated_annealing
+from repro.core.power import PowerModel
+from repro.stats.switching import BitStatistics
+from repro.tsv.capmodel import LinearCapacitanceModel
+from repro.tsv.extractor import CapacitanceExtractor
+from repro.tsv.geometry import TSVArrayGeometry
+
+N = 6
+
+
+def stats_from_seed(n, seed, samples=300):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((samples, n)) < rng.uniform(0.2, 0.8, n)).astype(
+        np.uint8
+    )
+    return BitStatistics.from_stream(bits)
+
+
+@functools.lru_cache(maxsize=None)
+def make_compiled(n, seed, mos_aware):
+    stats = stats_from_seed(n, seed)
+    if mos_aware:
+        geometry = TSVArrayGeometry(rows=2, cols=n // 2, pitch=8e-6,
+                                    radius=2e-6)
+        capacitance = LinearCapacitanceModel.fit(
+            CapacitanceExtractor(geometry, method="compact3d"), n_probes=5
+        )
+        return CompiledPowerModel.compile(PowerModel(stats, capacitance))
+    rng = np.random.default_rng(seed + 1)
+    matrix = rng.uniform(0.1, 1.0, (n, n)) * 1e-15
+    return CompiledPowerModel.compile(
+        PowerModel(stats, (matrix + matrix.T) / 2.0)
+    )
+
+
+class TestPopulationState:
+    """Stacked kernels vs one SearchState per chain."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 5),
+        mos_aware=st.booleans(),
+        moves=st.lists(
+            st.tuples(
+                st.integers(0, 3),        # acting chain
+                st.booleans(),            # True: toggle, False: swap
+                st.integers(0, N - 1),
+                st.integers(0, N - 1),
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    def test_tracks_per_chain_search_states(self, seed, mos_aware, moves):
+        compiled = make_compiled(N, seed, mos_aware)
+        rng = np.random.default_rng(seed + 100)
+        starts = random_assignments(N, 4, rng, with_inversions=True)
+        population = PopulationState(compiled, starts)
+        singles = [compiled.start(a) for a in starts]
+
+        for chain, is_toggle, a, b in moves:
+            chains = np.arange(4, dtype=np.intp)
+            bits = np.full(4, a, dtype=np.intp)
+            one_bit = np.array([a], dtype=np.intp)
+            np.testing.assert_array_equal(
+                population.delta_toggles(chains, bits),
+                [float(s.delta_toggles(one_bit)[0]) for s in singles],
+            )
+            if a != b:
+                pairs = np.tile([a, b], (4, 1)).astype(np.intp)
+                one_pair = np.array([[a, b]], dtype=np.intp)
+                np.testing.assert_array_equal(
+                    population.delta_swaps(chains, pairs),
+                    [float(s.delta_swaps(one_pair)[0]) for s in singles],
+                )
+            if is_toggle:
+                population.toggle(chain, a)
+                singles[chain].toggle(a)
+            elif a != b:
+                population.swap(chain, a, b)
+                singles[chain].swap(a, b)
+            for index, single in enumerate(singles):
+                assert population.powers[index] == single.power
+                assert population.assignment(index) == single.assignment()
+
+    def test_requires_symmetric_model(self):
+        compiled = make_compiled(N, 0, False)
+        start = [SignedPermutation.identity(N)]
+        if compiled.symmetric:
+            PopulationState(compiled, start)  # must not raise
+
+
+class TestPopulationAnnealingIdentity:
+    """population=True vs population=False: bit-equal results per seed."""
+
+    @pytest.mark.parametrize("mos_aware", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_identical_results(self, mos_aware, seed):
+        compiled = make_compiled(N, seed, mos_aware)
+        runs = {}
+        for population in (True, False):
+            runs[population] = simulated_annealing(
+                compiled, N, rng=np.random.default_rng(seed),
+                n_restarts=3, population=population,
+            )
+        assert runs[True].power == runs[False].power
+        assert runs[True].assignment == runs[False].assignment
+        assert runs[True].evaluations == runs[False].evaluations
+
+    def test_identical_under_constraints(self):
+        compiled = make_compiled(N, 4, True)
+        constraints = AssignmentConstraints(
+            pinned={0: 0}, no_invert={1, 2}
+        )
+        runs = {}
+        for population in (True, False):
+            runs[population] = simulated_annealing(
+                compiled, N, rng=np.random.default_rng(11),
+                n_restarts=3, population=population,
+                constraints=constraints,
+            )
+        assert runs[True].power == runs[False].power
+        assert runs[True].assignment == runs[False].assignment
+        assert runs[True].evaluations == runs[False].evaluations
+        assert runs[True].assignment.line_of_bit[0] == 0
+        assert not runs[True].assignment.inverted[1]
+        assert not runs[True].assignment.inverted[2]
+
+    def test_identical_with_fixed_schedule(self):
+        compiled = make_compiled(N, 5, False)
+        kwargs = dict(
+            n_restarts=2,
+            initial_temperature=1e-13,
+            steps_per_temperature=37,
+            cooling=0.8,
+        )
+        runs = {}
+        for population in (True, False):
+            runs[population] = simulated_annealing(
+                compiled, N, rng=np.random.default_rng(6),
+                population=population, **kwargs,
+            )
+        assert runs[True].power == runs[False].power
+        assert runs[True].assignment == runs[False].assignment
+        assert runs[True].evaluations == runs[False].evaluations
+
+    def test_population_requires_compiled_objective(self):
+        model = PowerModel(
+            stats_from_seed(N, 0),
+            np.eye(N) * 1e-15,
+        )
+        with pytest.raises(ValueError, match="population"):
+            simulated_annealing(
+                model.power, N, rng=np.random.default_rng(0),
+                population=True,
+            )
+
+    def test_population_rejects_checkpoint_store(self, tmp_path):
+        compiled = make_compiled(N, 0, False)
+        with pytest.raises(ValueError, match="population"):
+            simulated_annealing(
+                compiled, N, rng=np.random.default_rng(0),
+                population=True, checkpoint_dir=tmp_path / "ckpt",
+            )

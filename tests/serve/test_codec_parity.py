@@ -1,0 +1,251 @@
+"""Batch-kernel parity: vectorized codecs == scalar reference loops.
+
+The invert codecs encode through :func:`_invert_state_walk` batch
+kernels but keep their per-word loops (``_encode_scalar``) as ground
+truth, switchable with ``REPRO_SCALAR_CODECS=1``.  This suite proves
+the two paths bit-identical on hypothesis-random words, widths and
+chunk splits — including the carried decision state across chunks,
+``reset()``, and the wide-bus fallbacks (SWAR popcount past the
+bus-invert table, vectorized coupling costs past the coupling table).
+
+The gray/correlator codecs have no scalar loop (their kernels are pure
+array ops); their reference is the offline :mod:`repro.coding`
+transform of the whole stream, checked here under random splits.
+"""
+
+import os
+from unittest import mock
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.correlator import correlate_words
+from repro.coding.gray import gray_encode_words
+from repro.serve.codecs import (
+    _MAX_COST_TABLE_LINES,
+    _MAX_POPCOUNT_TABLE_BITS,
+    BusInvertCodec,
+    CorrelatorCodec,
+    CouplingInvertCodec,
+    GrayCodec,
+    _use_scalar_kernels,
+)
+
+SCALAR_ENV = {"REPRO_SCALAR_CODECS": "1"}
+
+
+def scalar(cls, *args, **kwargs):
+    """Construct a codec that serves through its reference loop."""
+    with mock.patch.dict(os.environ, SCALAR_ENV):
+        codec = cls(*args, **kwargs)
+    assert codec._scalar
+    return codec
+
+
+def encode_chunked(codec, words, cuts):
+    """Encode one stream through a codec at the given chunk cut points."""
+    edges = [0] + sorted(set(cuts)) + [len(words)]
+    pieces = [
+        codec.encode(words[a:b]) for a, b in zip(edges[:-1], edges[1:])
+    ]
+    pieces = [p for p in pieces if len(p)]
+    if not pieces:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+def word_stream(width, min_size=0, max_size=120):
+    return st.lists(
+        st.integers(0, (1 << width) - 1),
+        min_size=min_size, max_size=max_size,
+    ).map(lambda ws: np.asarray(ws, dtype=np.int64))
+
+
+def cut_points(max_cuts=5):
+    return st.lists(st.integers(0, 120), max_size=max_cuts)
+
+
+class TestEnvKnob:
+    def test_default_is_batch(self):
+        with mock.patch.dict(os.environ, {"REPRO_SCALAR_CODECS": ""}):
+            assert not _use_scalar_kernels()
+            assert not BusInvertCodec(8)._scalar
+        with mock.patch.dict(os.environ, {"REPRO_SCALAR_CODECS": "0"}):
+            assert not _use_scalar_kernels()
+
+    def test_env_swaps_in_the_reference_loops(self):
+        with mock.patch.dict(os.environ, SCALAR_ENV):
+            assert _use_scalar_kernels()
+            assert BusInvertCodec(8)._scalar
+            assert CouplingInvertCodec(8)._scalar
+
+
+class TestBusInvertParity:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        width=st.integers(1, 16),
+        words=st.data(),
+        cuts=cut_points(),
+    )
+    def test_batch_matches_scalar_under_any_split(self, width, words, cuts):
+        stream = words.draw(word_stream(width))
+        batch = BusInvertCodec(width)
+        reference = scalar(BusInvertCodec, width)
+        got = encode_chunked(batch, stream, cuts)
+        want = encode_chunked(reference, stream, cuts)
+        np.testing.assert_array_equal(got, want)
+        assert batch._enc_prev == reference._enc_prev
+        assert batch._enc_flag == reference._enc_flag
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(1, 12), words=st.data())
+    def test_state_carries_then_reset_forgets(self, width, words):
+        first = words.draw(word_stream(width, min_size=1))
+        second = words.draw(word_stream(width, min_size=1))
+        batch = BusInvertCodec(width)
+        reference = scalar(BusInvertCodec, width)
+        batch.encode(first)
+        reference.encode(first)
+        np.testing.assert_array_equal(
+            batch.encode(second), reference.encode(second)
+        )
+        batch.reset()
+        fresh = BusInvertCodec(width)
+        np.testing.assert_array_equal(
+            batch.encode(second), fresh.encode(second)
+        )
+
+    def test_wide_bus_swar_fallback_matches_scalar(self):
+        width = _MAX_POPCOUNT_TABLE_BITS + 4
+        stream = np.random.default_rng(3).integers(
+            0, 1 << width, 400, dtype=np.int64
+        )
+        batch = BusInvertCodec(width)
+        reference = scalar(BusInvertCodec, width)
+        assert batch._popcount is None
+        np.testing.assert_array_equal(
+            encode_chunked(batch, stream, [13, 250]),
+            encode_chunked(reference, stream, [13, 250]),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(1, 12), words=st.data(), cuts=cut_points())
+    def test_round_trip_and_flag_in_band(self, width, words, cuts):
+        stream = words.draw(word_stream(width))
+        codec = BusInvertCodec(width)
+        coded = encode_chunked(codec, stream, cuts)
+        np.testing.assert_array_equal(codec.decode(coded), stream)
+        assert len(coded) == 0 or int(coded.max()) < 1 << (width + 1)
+
+
+class TestCouplingInvertParity:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        width=st.integers(1, _MAX_COST_TABLE_LINES - 1),
+        words=st.data(),
+        cuts=cut_points(),
+    )
+    def test_batch_matches_scalar_under_any_split(self, width, words, cuts):
+        stream = words.draw(word_stream(width))
+        batch = CouplingInvertCodec(width)
+        reference = scalar(CouplingInvertCodec, width)
+        got = encode_chunked(batch, stream, cuts)
+        want = encode_chunked(reference, stream, cuts)
+        np.testing.assert_array_equal(got, want)
+        assert batch._enc_prev == reference._enc_prev
+
+    @settings(max_examples=20, deadline=None)
+    @given(words=st.data(), cuts=cut_points())
+    def test_wide_bus_cost_kernel_matches_scalar(self, words, cuts):
+        width = _MAX_COST_TABLE_LINES + 2
+        stream = words.draw(word_stream(width, max_size=80))
+        batch = CouplingInvertCodec(width)
+        reference = scalar(CouplingInvertCodec, width)
+        assert batch._table is None
+        np.testing.assert_array_equal(
+            encode_chunked(batch, stream, cuts),
+            encode_chunked(reference, stream, cuts),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(1, 8), words=st.data())
+    def test_state_carries_then_reset_forgets(self, width, words):
+        first = words.draw(word_stream(width, min_size=1))
+        second = words.draw(word_stream(width, min_size=1))
+        batch = CouplingInvertCodec(width)
+        reference = scalar(CouplingInvertCodec, width)
+        batch.encode(first)
+        reference.encode(first)
+        np.testing.assert_array_equal(
+            batch.encode(second), reference.encode(second)
+        )
+        batch.reset()
+        fresh = CouplingInvertCodec(width)
+        np.testing.assert_array_equal(
+            batch.encode(second), fresh.encode(second)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(1, 8), words=st.data(), cuts=cut_points())
+    def test_round_trip(self, width, words, cuts):
+        stream = words.draw(word_stream(width))
+        codec = CouplingInvertCodec(width)
+        coded = encode_chunked(codec, stream, cuts)
+        np.testing.assert_array_equal(codec.decode(coded), stream)
+
+
+class TestStatelessKernelsAgainstOffline:
+    """Gray/correlator kernels vs the offline whole-stream transforms."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(1, 20),
+        negated=st.booleans(),
+        words=st.data(),
+        cuts=cut_points(),
+    )
+    def test_gray_chunked_matches_offline(self, width, negated, words, cuts):
+        stream = words.draw(word_stream(width))
+        codec = GrayCodec(width, negated=negated)
+        np.testing.assert_array_equal(
+            encode_chunked(codec, stream, cuts),
+            gray_encode_words(stream, width, negated=negated),
+        )
+        coded = codec.encode(stream)
+        np.testing.assert_array_equal(codec.decode(coded), stream)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.integers(1, 16),
+        n_channels=st.integers(1, 5),
+        negated=st.booleans(),
+        words=st.data(),
+        cuts=cut_points(),
+    )
+    def test_correlator_chunked_matches_offline(
+        self, width, n_channels, negated, words, cuts
+    ):
+        stream = words.draw(word_stream(width))
+        codec = CorrelatorCodec(width, n_channels=n_channels, negated=negated)
+        np.testing.assert_array_equal(
+            encode_chunked(codec, stream, cuts),
+            correlate_words(
+                stream, width, n_channels=n_channels, negated=negated
+            ),
+        )
+        codec.reset()
+        coded = encode_chunked(codec, stream, cuts)
+        decoded = encode_chunked_decode(codec, coded, cuts)
+        np.testing.assert_array_equal(decoded, stream)
+
+
+def encode_chunked_decode(codec, words, cuts):
+    """Decode one stream chunk by chunk at the given cut points."""
+    edges = [0] + sorted(set(cuts)) + [len(words)]
+    pieces = [
+        codec.decode(words[a:b]) for a, b in zip(edges[:-1], edges[1:])
+    ]
+    pieces = [p for p in pieces if len(p)]
+    if not pieces:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(pieces)

@@ -17,6 +17,13 @@ the server's online energy account disagrees with an offline
 ``CompiledPowerModel`` recomputation, so CI can gate on serving
 *correctness* without gating on machine speed.
 
+``--fleet N`` additionally boots a ``FleetServer`` with N worker
+processes per setting and records the same sweep through the fleet
+front.  The routing/journaling hop costs something; the gate is that
+the fleet's best encode throughput stays within ``--min-fleet-ratio``
+(default 0.8) of the single-engine best — regressions in the forwarding
+path fail the benchmark even on fast machines.
+
 Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
 Writes ``benchmarks/BENCH_serve.json`` (gitignored; the committed seed
 baselines live in ``benchmarks/baselines/``).
@@ -24,6 +31,7 @@ baselines live in ``benchmarks/baselines/``).
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 
@@ -54,25 +62,48 @@ def link_config():
     }
 
 
-def run_once(window_s, words, chunk_words, in_flight):
+def run_once(window_s, words, chunk_words, in_flight, n_workers=0):
     """One server boot + encode/decode sweep.  Returns a result row."""
     policy = BatchPolicy(window_s=window_s)
-    with BackgroundServer(policy=policy) as server:
+    if n_workers:
+        from repro.serve import FleetServer
+
+        harness = BackgroundServer(
+            server_factory=lambda: FleetServer(
+                n_workers=n_workers, policy=policy
+            )
+        )
+    else:
+        harness = BackgroundServer(policy=policy)
+    with harness as server:
         with LinkClient.connect(server.address) as client:
             client.create_link("bench", link_config())
 
             # Untimed warm-up through a scratch link: exercises the whole
             # request path without touching the bench link's codec state,
             # energy account, or latency histogram, so the timed region
-            # below reflects steady state.
-            client.create_link("warmup", link_config())
+            # below reflects steady state. In fleet mode the scratch link
+            # must land on the *same worker process* as the bench link,
+            # or the timed region pays a cold worker's first-request
+            # construction costs.
+            warm_name = "warmup"
+            if n_workers:
+                from repro.serve import worker_for
+
+                slots = list(range(n_workers))
+                target = worker_for("bench", slots)
+                suffix = 0
+                while worker_for(warm_name, slots) != target:
+                    warm_name = f"warmup-{suffix}"
+                    suffix += 1
+            client.create_link(warm_name, link_config())
             warm = words[: min(len(words), 4 * chunk_words)]
             warm_coded = client.stream(
-                "warmup", warm, chunk_words=chunk_words,
+                warm_name, warm, chunk_words=chunk_words,
                 max_in_flight=in_flight,
             )
             client.stream(
-                "warmup", warm_coded, op="decode", chunk_words=chunk_words,
+                warm_name, warm_coded, op="decode", chunk_words=chunk_words,
                 max_in_flight=in_flight,
             )
 
@@ -127,11 +158,12 @@ def offline_power(words, coded):
     ).power()
 
 
-def bench_window(window_s, words, repeats, chunk_words, in_flight):
+def bench_window(window_s, words, repeats, chunk_words, in_flight,
+                 n_workers=0):
     """Best-of-repeats throughput for one batch-window setting."""
     best = None
     for _ in range(repeats):
-        row = run_once(window_s, words, chunk_words, in_flight)
+        row = run_once(window_s, words, chunk_words, in_flight, n_workers)
         if best is None or row["encode_words_per_s"] > \
                 best["encode_words_per_s"]:
             best = row
@@ -160,6 +192,17 @@ def main(argv=None) -> int:
     parser.add_argument("--words", type=int, default=None,
                         help="stream length per run")
     parser.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="also sweep a FleetServer with N worker processes and "
+             "gate its throughput against the single-engine runs",
+    )
+    parser.add_argument(
+        "--min-fleet-ratio", type=float, default=None,
+        help="minimum fleet/single best-encode-throughput ratio "
+             "(default 0.8; relaxed to 0.65 on single-core machines, "
+             "where the forwarding hop cannot overlap with codec work)",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent / "BENCH_serve.json"),
         help="report destination (default: the benchmarks/ directory)",
@@ -185,16 +228,17 @@ def main(argv=None) -> int:
         "width": WIDTH,
         "results": [],
     }
-    ok = True
-    for window_s in windows:
-        print(f"# window={window_s * 1e3:.1f} ms ...", flush=True)
-        row = bench_window(
-            window_s, words, repeats, chunk_words=4096, in_flight=32
-        )
-        report["results"].append(row)
-        ok = ok and row["round_trip_exact"] and row["energy_exact"]
+    if args.fleet:
+        if args.min_fleet_ratio is None:
+            cores = os.cpu_count() or 1
+            args.min_fleet_ratio = 0.8 if cores >= 2 else 0.65
+        report["fleet_workers"] = args.fleet
+        report["min_fleet_ratio"] = args.min_fleet_ratio
+
+    def show(row, label="single"):
         print(
-            f"  encode {row['encode_words_per_s'] / 1e6:.2f} Mwords/s  "
+            f"  [{label}] "
+            f"encode {row['encode_words_per_s'] / 1e6:.2f} Mwords/s  "
             f"decode {row['decode_words_per_s'] / 1e6:.2f} Mwords/s  "
             f"p50/p95/p99 {row['latency_p50_s'] * 1e6:.0f}/"
             f"{row['latency_p95_s'] * 1e6:.0f}/"
@@ -202,9 +246,48 @@ def main(argv=None) -> int:
             f"({row['mean_batch_requests']:.1f} req/batch)"
         )
         print(
-            f"  round_trip_exact={row['round_trip_exact']}  "
+            f"  [{label}] round_trip_exact={row['round_trip_exact']}  "
             f"energy_exact={row['energy_exact']}"
         )
+
+    ok = True
+    best_single = 0.0
+    best_fleet = 0.0
+    for window_s in windows:
+        print(f"# window={window_s * 1e3:.1f} ms ...", flush=True)
+        row = bench_window(
+            window_s, words, repeats, chunk_words=4096, in_flight=32
+        )
+        report["results"].append(row)
+        ok = ok and row["round_trip_exact"] and row["energy_exact"]
+        best_single = max(best_single, row["encode_words_per_s"])
+        show(row)
+        if args.fleet:
+            fleet_row = bench_window(
+                window_s, words, repeats, chunk_words=4096, in_flight=32,
+                n_workers=args.fleet,
+            )
+            fleet_row["fleet_workers"] = args.fleet
+            report["results"].append(fleet_row)
+            ok = (ok and fleet_row["round_trip_exact"]
+                  and fleet_row["energy_exact"])
+            best_fleet = max(best_fleet, fleet_row["encode_words_per_s"])
+            show(fleet_row, label=f"fleet-{args.fleet}")
+
+    if args.fleet:
+        # Gate on the best-vs-best ratio: the fleet's forwarding and
+        # journaling hop must stay within the configured fraction of
+        # the single-engine throughput.
+        ratio = best_fleet / best_single if best_single else 0.0
+        report["fleet_encode_ratio"] = ratio
+        fleet_ok = ratio >= args.min_fleet_ratio
+        report["fleet_ratio_ok"] = fleet_ok
+        print(
+            f"# fleet/single encode ratio {ratio:.2f} "
+            f"(gate >= {args.min_fleet_ratio:.2f}): "
+            f"{'ok' if fleet_ok else 'FAILED'}"
+        )
+        ok = ok and fleet_ok
 
     with open(args.output, "w") as sink:
         json.dump(report, sink, indent=2)

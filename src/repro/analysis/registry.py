@@ -102,6 +102,8 @@ ANNOTATED_MODULES = (
     "repro.serve.engine",
     "repro.serve.server",
     "repro.serve.protocol",
+    "repro.serve.fleet",
+    "repro.serve.worker",
 )
 
 SpecDict = Mapping[str, str]

@@ -26,7 +26,9 @@ Subcommands
 ``serve``
     Run the batched online encode/decode server for coded TSV links
     (see ``docs/serving.md``) until interrupted. Links are created by
-    clients over the control channel.
+    clients over the control channel. ``--workers N`` shards links
+    across N worker processes with exact codec-state failover (see
+    ``docs/robustness.md``).
 ``stream``
     Client-side verb: connect to a running server, create a coded link
     (geometry + codec chain) if needed, stream words through it, and
@@ -284,7 +286,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def run() -> None:
-        server = LinkServer(policy=policy, max_workers=args.workers)
+        if args.workers is not None:
+            from repro.serve.fleet import FleetServer
+
+            server = FleetServer(
+                n_workers=args.workers,
+                policy=policy,
+                runtime_dir=args.runtime_dir,
+                snapshot_every=args.snapshot_every,
+            )
+        else:
+            server = LinkServer(policy=policy, max_workers=args.batch_threads)
         await server.start(host=args.host, port=args.port, path=args.unix)
         address = server.address
         if isinstance(address, tuple):
@@ -471,8 +483,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-batch-requests", type=int, default=128)
     p_serve.add_argument("--queue-limit", type=int, default=256,
                          help="per-link queue bound (full queue sheds)")
-    p_serve.add_argument("--workers", type=int, default=None,
-                         help="batch worker threads")
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="fleet mode: shard links across N worker "
+                              "processes with exact codec-state failover")
+    p_serve.add_argument("--batch-threads", type=int, default=None,
+                         help="batch executor threads (single-engine mode)")
+    p_serve.add_argument("--runtime-dir", default=None, metavar="DIR",
+                         help="fleet worker sockets + snapshot checkpoints "
+                              "(default: private temp dir)")
+    p_serve.add_argument("--snapshot-every", type=int, default=512,
+                         help="fleet: journaled requests per link between "
+                              "epoch snapshots")
     p_serve.set_defaults(func=cmd_serve)
 
     p_stream = sub.add_parser(

@@ -33,10 +33,33 @@ A spec is a ``;``-separated list of fault entries, each
     interrupt_at(3)         raise KeyboardInterrupt at the 3rd firing of
                             the interrupt_at point (annealing temperature
                             levels / sweep point boundaries), once
+    worker_crash(1)         fleet worker 1 dies (hard process exit) at its
+                            next data-plane request, every incarnation
+    worker_crash(1,once)    ... only in the worker's first incarnation
+                            (generation 0), so the restarted worker
+                            serves cleanly — the failover exactness test
+    worker_crash(0,at=40)   ... at worker 0's 40th data request, placing
+                            the kill mid-stream deterministically
+                            (generation 0 only — restarted workers have
+                            fresh counters and must not re-crash)
+    worker_hang(1.5)        sleep 1.5 s on the worker's data plane (the
+                            event loop stalls, heartbeats go unanswered,
+                            the front declares the worker dead)
+    snapshot_corrupt(2)     truncate the next 2 fleet snapshot checkpoint
+                            files right after they are written (restore
+                            must fall back, never resume from junk)
 
 Unknown points or malformed entries raise :class:`ValueError` immediately
 at parse time — a typo in a chaos spec must not silently disable the
 fault it meant to inject.
+
+The worker points are *per-process*: a fleet worker inherits
+``REPRO_FAULTS`` through its environment and fires them from its own
+plan, while ``snapshot_corrupt`` fires in the front process where the
+checkpoints are written. ``worker_crash(i,once)`` is therefore gated on
+the worker's *generation* (passed down by the front at spawn), not on a
+counter in the plan — a restarted worker is a fresh process with a fresh
+plan, and only generation 0 may crash.
 """
 
 from __future__ import annotations
@@ -55,7 +78,10 @@ FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 #: The injection points production code declares. Keeping the set closed
 #: makes a misspelled spec an error instead of a silent no-op.
-KNOWN_POINTS = ("chain_crash", "cache_corrupt", "slow_solve", "interrupt_at")
+KNOWN_POINTS = (
+    "chain_crash", "cache_corrupt", "slow_solve", "interrupt_at",
+    "worker_crash", "worker_hang", "snapshot_corrupt",
+)
 
 #: Upper bound on one injected sleep, so a fat-fingered spec cannot hang CI.
 _MAX_SLEEP_S = 5.0
@@ -80,6 +106,11 @@ class FaultPlan:
         self._interrupt_at = 0
         self._interrupt_count = 0
         self._interrupt_done = False
+        self._worker_crash: Dict[int, bool] = {}  # index -> every generation
+        self._worker_crash_at = 0
+        self._worker_fire_count = 0
+        self._hang_s = 0.0
+        self._snapshot_corrupt_remaining = 0
         self._points: Dict[str, bool] = {}
         for entry in spec.split(";"):
             if entry.strip():
@@ -121,6 +152,39 @@ class FaultPlan:
                 raise ValueError(
                     f"interrupt_at count must be >= 1, got {self._interrupt_at}"
                 )
+        elif name == "worker_crash":
+            once = "once" in raw_args
+            indices = []
+            for token in raw_args:
+                if token == "once":
+                    continue
+                if token.startswith("at="):
+                    self._worker_crash_at = int(token[3:])
+                    if self._worker_crash_at < 1:
+                        raise ValueError(
+                            f"worker_crash at= must be >= 1, "
+                            f"got {self._worker_crash_at}"
+                        )
+                    continue
+                indices.append(int(token))
+            if not indices:
+                raise ValueError(
+                    "worker_crash needs at least one worker index"
+                )
+            for index in indices:
+                self._worker_crash[index] = not once
+        elif name == "worker_hang":
+            if not raw_args:
+                raise ValueError("worker_hang needs a duration in seconds")
+            self._hang_s = float(raw_args[0])
+            if self._hang_s < 0.0:
+                raise ValueError(
+                    f"worker_hang duration must be >= 0, got {self._hang_s}"
+                )
+        elif name == "snapshot_corrupt":
+            self._snapshot_corrupt_remaining = (
+                int(raw_args[0]) if raw_args else 1
+            )
         self._points[name] = True
 
     def active(self, name: str) -> bool:
@@ -172,6 +236,46 @@ class FaultPlan:
             )
             raise KeyboardInterrupt(
                 f"injected interrupt at boundary {self._interrupt_at}"
+            )
+        elif name == "worker_crash":
+            worker = int(context.get("worker", -1))
+            generation = int(context.get("generation", 0))
+            with self._lock:
+                crash = self._worker_crash.get(worker)
+                should = crash is not None and (crash or generation == 0)
+                if should and self._worker_crash_at:
+                    # at=N: let N-1 requests through, die on the Nth —
+                    # in the first incarnation only. A restarted worker
+                    # is a fresh process with a fresh counter; without
+                    # the generation gate it would re-crash at its own
+                    # Nth request, forever.
+                    should = generation == 0
+                    if should:
+                        self._worker_fire_count += 1
+                        should = (
+                            self._worker_fire_count >= self._worker_crash_at
+                        )
+            if should:
+                logger.warning(
+                    "fault injection: crashing worker %d (generation %d)",
+                    worker, generation,
+                )
+                raise InjectedFault(
+                    f"injected worker_crash "
+                    f"(worker={worker}, generation={generation})"
+                )
+        elif name == "worker_hang":
+            time.sleep(min(self._hang_s, _MAX_SLEEP_S))
+        elif name == "snapshot_corrupt":
+            path = context.get("path")
+            with self._lock:
+                if self._snapshot_corrupt_remaining <= 0 or path is None:
+                    return
+                self._snapshot_corrupt_remaining -= 1
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+            logger.warning(
+                "fault injection: truncated snapshot checkpoint %s", path
             )
 
 

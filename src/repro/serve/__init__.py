@@ -30,9 +30,16 @@ them into a serving subsystem with inference-stack bones:
     encoded batch with :class:`~repro.core.fastpower.CompiledPowerModel`
     so a live link reports coded-vs-uncoded power savings that match the
     offline model bit for bit.
+:mod:`repro.serve.fleet` / :mod:`repro.serve.worker`
+    Multi-process serving: :class:`FleetServer` consistently hashes
+    links onto a pool of worker processes and survives worker crashes
+    with *exact* failover — journaled requests, epoch snapshots of the
+    codec/energy state, and post-snapshot replay keep round trips and
+    energy accounting bit-identical across a mid-stream worker kill.
 
 See ``docs/serving.md`` for the wire protocol, the batching and
-backpressure policy and the metrics schema.
+backpressure policy and the metrics schema, and ``docs/robustness.md``
+for the failover guarantees.
 """
 
 from repro.serve.codecs import (
@@ -55,10 +62,17 @@ from repro.serve.engine import (
     ServeEngine,
     UnknownLinkError,
 )
-from repro.serve.metrics import EnergyAccount, LatencyHistogram, LinkMetrics
+from repro.serve.metrics import (
+    EnergyAccount,
+    LatencyHistogram,
+    LinkMetrics,
+    merge_latency_states,
+)
 from repro.serve.session import LinkConfig, LinkConfigError, LinkSession
 from repro.serve.server import BackgroundServer, LinkServer
 from repro.serve.client import LinkClient, ServeError
+from repro.serve.fleet import FleetServer, worker_for
+from repro.serve.worker import WorkerServer
 
 __all__ = [
     "BackgroundServer",
@@ -71,6 +85,7 @@ __all__ = [
     "DeadlineExceededError",
     "EnergyAccount",
     "EngineClosedError",
+    "FleetServer",
     "GrayCodec",
     "LatencyHistogram",
     "LinkClient",
@@ -84,7 +99,10 @@ __all__ = [
     "ServeError",
     "StreamCodec",
     "UnknownLinkError",
+    "WorkerServer",
     "build_chain",
     "build_codec",
+    "merge_latency_states",
     "parse_codec_spec",
+    "worker_for",
 ]

@@ -16,7 +16,12 @@ in-process or across a socket.
 
 from __future__ import annotations
 
+import logging
+import os
+import random
 import socket
+import time
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -29,6 +34,8 @@ from repro.serve.protocol import (
     write_frame_blocking,
 )
 from repro.serve.session import LinkConfig
+
+logger = logging.getLogger("repro.serve")
 
 Address = Union[str, Tuple[str, int]]
 
@@ -56,13 +63,23 @@ _ERROR_CLASSES: Dict[str, type] = {
 }
 
 
-def _raise_server_error(header: Dict[str, Any]) -> None:
+def exception_from_header(header: Dict[str, Any]) -> Exception:
+    """The local exception matching an ``ok: false`` response header."""
     error = str(header.get("error", "ServeError"))
     message = str(header.get("message", ""))
     cls = _ERROR_CLASSES.get(error)
     if cls is not None:
-        raise cls(message)
-    raise ServeError(error, message)
+        return cls(message)
+    return ServeError(error, message)
+
+
+def _raise_server_error(header: Dict[str, Any]) -> None:
+    raise exception_from_header(header)
+
+
+#: Socket-level failures that a retrying client treats as "connection
+#: lost, reconnect and replay" (``TimeoutError`` covers socket timeouts).
+_CONNECTION_ERRORS = (EOFError, ConnectionError, TimeoutError, OSError)
 
 
 class LinkClient:
@@ -70,37 +87,105 @@ class LinkClient:
 
     Not thread-safe: one client per thread (the server happily accepts
     many connections).
+
+    Retries — **off by default** — are opted into with
+    ``connect(..., retries=N)``. A retrying client introduces itself
+    with a ``hello`` session token, so the server caches its responses;
+    when the connection drops it reconnects with bounded exponential
+    backoff plus jitter and **re-issues only the un-ACKed requests**
+    (its request ids double as sequence numbers: anything without a
+    response frame is re-sent, in id order, under the same id). The
+    session cache answers re-issued requests the server already
+    executed from the cache instead of executing them twice — that is
+    what keeps a retried ``encode`` from advancing the codec history
+    twice. A response marked ``retriable`` (an explicit
+    not-applied NACK, e.g. fleet failover shedding) is also re-issued,
+    up to the retry budget.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        address: Optional[Address] = None,
+        timeout: Optional[float] = 30.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retries and address is None:
+            raise ValueError("retries need the server address to reconnect")
         self._sock = sock
         self._file = sock.makefile("rwb")
         self._next_id = 0
         self._parked: Dict[int, Tuple[Dict[str, Any], bytes]] = {}
+        self._address = address
+        self._timeout = timeout
+        self._retries = int(retries)
+        self._backoff_base_s = float(backoff_base_s)
+        self._backoff_max_s = float(backoff_max_s)
+        #: Un-ACKed requests by id (only tracked when retrying): the
+        #: replay set after a reconnect.
+        self._outbox: "OrderedDict[int, Tuple[Dict[str, Any], bytes]]" = (
+            OrderedDict()
+        )
+        self._nack_counts: Dict[int, int] = {}
+        self._session_token = os.urandom(8).hex() if retries else None
+        # Deterministic per-session jitter (seeded stdlib RNG): spreads
+        # concurrent reconnects without hurting reproducibility.
+        self._rng = random.Random(self._session_token)
 
-    @classmethod
-    def connect(
-        cls, address: Address, timeout: Optional[float] = 30.0
-    ) -> "LinkClient":
-        """Connect to ``(host, port)``, ``"host:port"`` or a unix path."""
+    @staticmethod
+    def _open_socket(
+        address: Address, timeout: Optional[float]
+    ) -> socket.socket:
         if isinstance(address, tuple):
             sock = socket.create_connection(address, timeout=timeout)
         elif ":" in address:
             host, _, port = address.rpartition(":")
-            sock = socket.create_connection(
-                (host, int(port)), timeout=timeout
-            )
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
         else:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(timeout)
             sock.connect(address)
         if sock.family != socket.AF_UNIX:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return cls(sock)
+        return sock
+
+    @classmethod
+    def connect(
+        cls,
+        address: Address,
+        timeout: Optional[float] = 30.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ) -> "LinkClient":
+        """Connect to ``(host, port)``, ``"host:port"`` or a unix path.
+
+        ``retries`` opts into reconnect-and-replay (see the class
+        docstring); the default ``0`` keeps the old fail-fast behavior.
+        """
+        client = cls(
+            cls._open_socket(address, timeout),
+            address=address,
+            timeout=timeout,
+            retries=retries,
+            backoff_base_s=backoff_base_s,
+            backoff_max_s=backoff_max_s,
+        )
+        if retries:
+            client._hello()
+        return client
 
     def close(self) -> None:
         try:
             self._file.close()
+        except OSError:
+            # Best-effort flush: the peer may already be gone (severed
+            # transport, dead server); close must not raise on teardown.
+            pass
         finally:
             self._sock.close()
 
@@ -110,20 +195,113 @@ class LinkClient:
     def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
         self.close()
 
-    # -- framing ------------------------------------------------------------
+    # -- framing / recovery --------------------------------------------------
+
+    def _hello(self) -> None:
+        """Bind this connection to the client's session token.
+
+        Written and read inline (not through ``_send``/``_receive``): a
+        fresh connection has nothing else in flight, so the next frame
+        *is* the hello response.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        write_frame_blocking(
+            self._file,
+            {"op": "hello", "session": self._session_token, "id": request_id},
+            b"",
+        )
+        header, _ = read_frame_blocking(self._file)
+        if not header.get("ok"):
+            _raise_server_error(header)
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(
+            self._backoff_base_s * (2 ** attempt), self._backoff_max_s
+        )
+        # Full jitter on the upper half keeps the bound while spreading
+        # synchronized retriers.
+        time.sleep(delay * (0.5 + 0.5 * self._rng.random()))
+
+    def _recover(self, cause: BaseException) -> None:
+        """Reconnect with backoff and replay the un-ACKed requests."""
+        last: BaseException = cause
+        for attempt in range(self._retries):
+            self._backoff(attempt)
+            try:
+                self.close()
+            except OSError:
+                pass
+            try:
+                assert self._address is not None
+                self._sock = self._open_socket(self._address, self._timeout)
+                self._file = self._sock.makefile("rwb")
+                self._hello()
+                # Replay: every request without a response frame, in id
+                # order, under its original id. The server's session
+                # cache answers the ones it already executed; the rest
+                # run fresh. Either way the stream is applied once.
+                for request_id in sorted(self._outbox):
+                    header, payload = self._outbox[request_id]
+                    write_frame_blocking(self._file, header, payload)
+                logger.warning(
+                    "reconnected to %s after %s (replayed %d requests)",
+                    self._address, cause, len(self._outbox),
+                )
+                return
+            except _CONNECTION_ERRORS as exc:
+                last = exc
+        raise ConnectionError(
+            f"could not reconnect to {self._address} after "
+            f"{self._retries} retries"
+        ) from last
 
     def _send(self, header: Dict[str, Any], payload: bytes = b"") -> int:
         request_id = self._next_id
         self._next_id += 1
         header = dict(header, id=request_id)
-        write_frame_blocking(self._file, header, payload)
+        if not self._retries:
+            write_frame_blocking(self._file, header, payload)
+            return request_id
+        self._outbox[request_id] = (header, payload)
+        try:
+            write_frame_blocking(self._file, header, payload)
+        except _CONNECTION_ERRORS as exc:
+            self._recover(exc)
         return request_id
 
     def _receive(self, request_id: int) -> Tuple[Dict[str, Any], bytes]:
         """The response to ``request_id``, parking out-of-order arrivals."""
         while request_id not in self._parked:
-            header, payload = read_frame_blocking(self._file)
-            self._parked[int(header.get("id", -1))] = (header, payload)
+            try:
+                header, payload = read_frame_blocking(self._file)
+            except _CONNECTION_ERRORS as exc:
+                if not self._retries:
+                    raise
+                self._recover(exc)
+                continue
+            response_id = int(header.get("id", -1))
+            frame = self._outbox.pop(response_id, None)
+            if (
+                not header.get("ok")
+                and header.get("retriable")
+                and frame is not None
+                and self._nack_counts.get(response_id, 0) < self._retries
+            ):
+                # Explicit not-applied NACK (e.g. fleet failover
+                # shedding): safe to re-issue the identical request.
+                self._nack_counts[response_id] = (
+                    self._nack_counts.get(response_id, 0) + 1
+                )
+                self._backoff(self._nack_counts[response_id] - 1)
+                self._outbox[response_id] = frame
+                try:
+                    write_frame_blocking(self._file, frame[0], frame[1])
+                except _CONNECTION_ERRORS as exc:
+                    self._recover(exc)
+                continue
+            self._nack_counts.pop(response_id, None)
+            self._parked[response_id] = (header, payload)
         header, payload = self._parked.pop(request_id)
         if not header.get("ok"):
             _raise_server_error(header)

@@ -88,6 +88,95 @@ def _use_scalar_kernels() -> bool:
     return os.environ.get("REPRO_SCALAR_CODECS", "") not in ("", "0")
 
 
+def _state_int(
+    state: Mapping[str, object], key: str, lo: int, hi: int
+) -> int:
+    """One validated integer field of a codec state snapshot."""
+    try:
+        value = state[key]
+    except KeyError:
+        raise ValueError(f"codec state is missing field {key!r}") from None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"codec state field {key!r} must be an int, got {value!r}"
+        )
+    if not lo <= value <= hi:
+        raise ValueError(
+            f"codec state field {key!r} must be in {lo}..{hi}, got {value}"
+        )
+    return int(value)
+
+
+def _state_bool(state: Mapping[str, object], key: str) -> bool:
+    """One validated boolean field of a codec state snapshot."""
+    try:
+        value = state[key]
+    except KeyError:
+        raise ValueError(f"codec state is missing field {key!r}") from None
+    if not isinstance(value, bool):
+        raise ValueError(
+            f"codec state field {key!r} must be a bool, got {value!r}"
+        )
+    return value
+
+
+def _state_int_list(
+    state: Mapping[str, object], key: str, length: int, lo: int, hi: int
+) -> np.ndarray:
+    """One validated per-channel integer list of a codec state snapshot."""
+    try:
+        value = state[key]
+    except KeyError:
+        raise ValueError(f"codec state is missing field {key!r}") from None
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ValueError(f"codec state field {key!r} must be a list")
+    if len(value) != length:
+        raise ValueError(
+            f"codec state field {key!r} must have {length} entries, "
+            f"got {len(value)}"
+        )
+    out = np.empty(length, dtype=np.int64)
+    for index, item in enumerate(value):
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise ValueError(
+                f"codec state field {key!r}[{index}] must be an int, "
+                f"got {item!r}"
+            )
+        if not lo <= item <= hi:
+            raise ValueError(
+                f"codec state field {key!r}[{index}] must be in "
+                f"{lo}..{hi}, got {item}"
+            )
+        out[index] = item
+    return out
+
+
+def _state_bool_list(
+    state: Mapping[str, object], key: str, length: int
+) -> np.ndarray:
+    """One validated per-channel boolean list of a codec state snapshot."""
+    try:
+        value = state[key]
+    except KeyError:
+        raise ValueError(f"codec state is missing field {key!r}") from None
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ValueError(f"codec state field {key!r} must be a list")
+    if len(value) != length:
+        raise ValueError(
+            f"codec state field {key!r} must have {length} entries, "
+            f"got {len(value)}"
+        )
+    out = np.empty(length, dtype=bool)
+    for index, item in enumerate(value):
+        if not isinstance(item, bool):
+            raise ValueError(
+                f"codec state field {key!r}[{index}] must be a bool, "
+                f"got {item!r}"
+            )
+        out[index] = item
+    return out
+
+
 def _invert_state_walk(
     if_plain: np.ndarray, if_inverted: np.ndarray, carry: bool
 ) -> np.ndarray:
@@ -148,6 +237,40 @@ class StreamCodec:
     def spec(self) -> Dict[str, object]:
         """The JSON-able spec reconstructing this codec."""
         return {"kind": self.kind}
+
+    # -- state round-trip ---------------------------------------------------
+    #
+    # Failover (see ``repro.serve.fleet``) moves a link between worker
+    # processes by snapshotting *exactly* the history each codec carries
+    # across chunk boundaries.  ``state_dict`` must therefore return a
+    # JSON-able dict of plain ints/bools (JSON round-trips those exactly)
+    # and ``load_state_dict`` must rebuild a codec whose next chunk is
+    # bit-identical to the next chunk of the snapshotted one.
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of the codec's streaming history.
+
+        Stateless codecs return ``{}``; every entry of a stateful codec's
+        dict is an int or bool so the snapshot survives JSON and the
+        checkpoint store without any loss.
+        """
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot; exact inverse of it.
+
+        Raises :class:`ValueError` when the snapshot does not fit this
+        codec (wrong fields, wrong channel count, out-of-range words).
+        """
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"codec state must be a mapping, got {type(state).__name__}"
+            )
+        if state:
+            raise ValueError(
+                f"{self.kind} codec carries no state, got fields "
+                f"{sorted(state)}"
+            )
 
 
 class GrayCodec(StreamCodec):
@@ -285,6 +408,36 @@ class CorrelatorCodec(StreamCodec):
             "negated": self.negated,
         }
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "enc_prev": [int(x) for x in self._enc_prev],
+            "enc_primed": [bool(x) for x in self._enc_primed],
+            "enc_phase": int(self._enc_phase),
+            "dec_prev": [int(x) for x in self._dec_prev],
+            "dec_primed": [bool(x) for x in self._dec_primed],
+            "dec_phase": int(self._dec_phase),
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"codec state must be a mapping, got {type(state).__name__}"
+            )
+        nc = self.n_channels
+        top = (1 << self.width_in) - 1
+        enc_prev = _state_int_list(state, "enc_prev", nc, 0, top)
+        enc_primed = _state_bool_list(state, "enc_primed", nc)
+        enc_phase = _state_int(state, "enc_phase", 0, nc - 1)
+        dec_prev = _state_int_list(state, "dec_prev", nc, 0, top)
+        dec_primed = _state_bool_list(state, "dec_primed", nc)
+        dec_phase = _state_int(state, "dec_phase", 0, nc - 1)
+        self._enc_prev = enc_prev
+        self._enc_primed = enc_primed
+        self._enc_phase = enc_phase
+        self._dec_prev = dec_prev
+        self._dec_primed = dec_primed
+        self._dec_phase = dec_phase
+
 
 class BusInvertCodec(StreamCodec):
     """Classic bus-invert with the flag in band on line ``width``.
@@ -386,6 +539,23 @@ class BusInvertCodec(StreamCodec):
 
     def spec(self) -> Dict[str, object]:
         return {"kind": self.kind}
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "enc_prev": int(self._enc_prev),
+            "enc_flag": bool(self._enc_flag),
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"codec state must be a mapping, got {type(state).__name__}"
+            )
+        top = (1 << self.width_in) - 1
+        enc_prev = _state_int(state, "enc_prev", 0, top)
+        enc_flag = _state_bool(state, "enc_flag")
+        self._enc_prev = enc_prev
+        self._enc_flag = enc_flag
 
 
 def _coupling_cost_table(n_lines: int) -> np.ndarray:
@@ -521,6 +691,19 @@ class CouplingInvertCodec(StreamCodec):
 
     def spec(self) -> Dict[str, object]:
         return {"kind": self.kind}
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"enc_prev": int(self._enc_prev)}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"codec state must be a mapping, got {type(state).__name__}"
+            )
+        # The carried bus state includes the in-band flag as bit `width`.
+        self._enc_prev = _state_int(
+            state, "enc_prev", 0, (1 << self.width_out) - 1
+        )
 
 
 class CacCodec(StreamCodec):
@@ -672,6 +855,48 @@ class CodecChain:
 
     def specs(self) -> List[Dict[str, object]]:
         return [codec.spec() for codec in self.codecs]
+
+    def state_dict(self) -> List[Dict[str, object]]:
+        """Per-codec streaming histories, payload -> line-side order.
+
+        Each entry carries the codec's ``kind`` so a restore onto a
+        differently-configured chain fails loudly instead of silently
+        misinterpreting another codec's fields.
+        """
+        return [
+            {"kind": codec.kind, "state": codec.state_dict()}
+            for codec in self.codecs
+        ]
+
+    def load_state_dict(self, state: Sequence[Mapping[str, object]]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this chain."""
+        if isinstance(state, (str, bytes)) or not isinstance(state, Sequence):
+            raise ValueError("chain state must be a list of codec states")
+        if len(state) != len(self.codecs):
+            raise ValueError(
+                f"chain state has {len(state)} codec entries, chain has "
+                f"{len(self.codecs)} codecs"
+            )
+        previous = self.state_dict()
+        try:
+            for index, (codec, entry) in enumerate(zip(self.codecs, state)):
+                if not isinstance(entry, Mapping):
+                    raise ValueError(
+                        f"chain state entry {index} must be a mapping"
+                    )
+                kind = entry.get("kind")
+                if kind != codec.kind:
+                    raise ValueError(
+                        f"chain state entry {index} is for codec kind "
+                        f"{kind!r}, chain has {codec.kind!r}"
+                    )
+                codec.load_state_dict(entry.get("state", {}))
+        except ValueError:
+            # A later entry failing must not leave the chain half-restored;
+            # the pre-load state is known-good, so rolling back cannot fail.
+            for codec, entry in zip(self.codecs, previous):
+                codec.load_state_dict(entry["state"])
+            raise
 
 
 def build_chain(

@@ -105,7 +105,7 @@ class BatchPolicy:
 class _Request:
     """One queued encode/decode request."""
 
-    __slots__ = ("op", "words", "future", "deadline", "enqueued_at")
+    __slots__ = ("op", "words", "future", "deadline", "enqueued_at", "seq")
 
     def __init__(
         self,
@@ -113,11 +113,13 @@ class _Request:
         words: np.ndarray,
         future: "asyncio.Future[np.ndarray]",
         deadline: Optional[Deadline],
+        seq: Optional[int] = None,
     ) -> None:
         self.op = op
         self.words = words
         self.future = future
         self.deadline = deadline
+        self.seq = seq
         self.enqueued_at = time.monotonic()
 
 
@@ -229,6 +231,7 @@ class ServeEngine:
         op: str,
         words: np.ndarray,
         deadline_s: Optional[float] = None,
+        seq: Optional[int] = None,
     ) -> "asyncio.Future[np.ndarray]":
         """Queue one request *synchronously*; the future holds the result.
 
@@ -236,6 +239,11 @@ class ServeEngine:
         stack: a caller that enqueues requests in stream order (e.g. the
         server's frame-read loop) gets them encoded in stream order, no
         matter how response tasks interleave afterwards.
+
+        ``seq`` tags the request with a fleet sequence number; the
+        session folds the batch's highest tag into
+        ``LinkSession.applied_seq`` when the batch runs, which is how
+        fleet snapshots know their cut of the journal.
 
         Raises :class:`OverloadedError` immediately when the link queue
         is full (explicit load shedding — the words were *not* encoded);
@@ -253,7 +261,7 @@ class ServeEngine:
         future: "asyncio.Future[np.ndarray]" = (
             asyncio.get_running_loop().create_future()
         )
-        request = _Request(op, words, future, deadline)
+        request = _Request(op, words, future, deadline, seq)
         try:
             link.queue.put_nowait(request)
         except asyncio.QueueFull:
@@ -333,12 +341,16 @@ class ServeEngine:
         return batch
 
     def _run_batch(
-        self, session: LinkSession, op: str, words: np.ndarray
+        self,
+        session: LinkSession,
+        op: str,
+        words: np.ndarray,
+        seq: Optional[int] = None,
     ) -> np.ndarray:
         fault_point("slow_solve", stage=f"serve-{op}", words=len(words))
         if op == "encode":
-            return session.encode(words)
-        return session.decode(words)
+            return session.encode(words, seq=seq)
+        return session.decode(words, seq=seq)
 
     async def _work(self, link: _Link) -> None:
         loop = asyncio.get_running_loop()
@@ -351,10 +363,12 @@ class ServeEngine:
                 np.concatenate([r.words for r in batch])
                 if len(batch) > 1 else batch[0].words
             )
+            seqs = [r.seq for r in batch if r.seq is not None]
+            seq = max(seqs) if seqs else None
             try:
                 result = await loop.run_in_executor(
                     self._pool, self._run_batch, link.session, op,
-                    words,
+                    words, seq,
                 )
             except Exception as exc:
                 link.metrics.note_error()
@@ -376,20 +390,30 @@ class ServeEngine:
 
     # -- stats and lifecycle ------------------------------------------------
 
-    def stats(self, link_id: Optional[str] = None) -> Dict[str, Any]:
-        """Operational + energy snapshot of one link or of all links."""
+    def stats(
+        self,
+        link_id: Optional[str] = None,
+        include_histogram: bool = False,
+    ) -> Dict[str, Any]:
+        """Operational + energy snapshot of one link or of all links.
+
+        ``include_histogram`` adds each link's raw latency bucket counts
+        (``metrics.latency_state``) so a fleet front can merge per-link
+        histograms exactly (see
+        :func:`repro.serve.metrics.merge_latency_states`).
+        """
         if link_id is not None:
             link = self._get(link_id)
             return {
                 "link": link_id,
-                "metrics": link.metrics.snapshot(),
+                "metrics": link.metrics.snapshot(include_histogram),
                 "energy": link.session.energy_report(),
                 "info": link.session.info(),
             }
         return {
             "links": {
                 name: {
-                    "metrics": link.metrics.snapshot(),
+                    "metrics": link.metrics.snapshot(include_histogram),
                     "energy": link.session.energy_report(),
                 }
                 for name, link in self._links.items()

@@ -22,9 +22,10 @@ while the control plane snapshots them from the event loop.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,6 +33,93 @@ from repro import constants
 from repro.core.fastpower import CompiledPowerModel
 from repro.stats.switching import BitStatistics
 from repro.tsv.capmodel import LinearCapacitanceModel
+
+
+#: Bucket boundaries shared by every latency histogram (seconds, 1 us ..
+#: ~100 s, 8 per decade).  Module-level so fleet-level merges of
+#: histograms recorded in different processes line up bucket for bucket.
+_BUCKET_BOUNDS = np.logspace(-6.0, 2.0, 65)
+
+
+def _percentile_from_counts(
+    q: float, total: int, counts: np.ndarray, maximum: float
+) -> float:
+    """Percentile from one consistent (total, counts, max) snapshot."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in 0..100, got {q}")
+    if total == 0:
+        return 0.0
+    bounds = _BUCKET_BOUNDS
+    rank = q / 100.0 * total
+    cumulative = 0
+    for index, bucket in enumerate(counts):
+        if bucket == 0:
+            continue
+        if cumulative + bucket >= rank:
+            lo = bounds[index - 1] if index > 0 else 0.0
+            hi = bounds[index] if index < len(bounds) else maximum
+            fraction = (rank - cumulative) / bucket
+            estimate = lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+            # The true maximum is known exactly; never estimate past it.
+            return float(min(estimate, maximum))
+        cumulative += bucket
+    return maximum
+
+
+def _summary_from_counts(
+    total: int, latency_sum: float, counts: np.ndarray, maximum: float
+) -> Dict[str, float]:
+    mean = latency_sum / total if total else 0.0
+    return {
+        "count": float(total),
+        "mean_s": mean,
+        "p50_s": _percentile_from_counts(50.0, total, counts, maximum),
+        "p95_s": _percentile_from_counts(95.0, total, counts, maximum),
+        "p99_s": _percentile_from_counts(99.0, total, counts, maximum),
+        "max_s": maximum,
+    }
+
+
+def merge_latency_states(
+    states: Sequence[Mapping[str, object]],
+) -> Dict[str, float]:
+    """Fold per-link histogram snapshots into one fleet-level summary.
+
+    The fold is **commutative and order-invariant**: bucket counts and
+    totals are integer sums, the maximum is a max, and the mean comes
+    from :func:`math.fsum` over the per-histogram sums — fsum returns the
+    correctly-rounded true sum, so any permutation of ``states`` (links
+    arriving from workers in any order) produces the bit-identical
+    summary.  That is what keeps the merge ``@deterministic`` under
+    ``lint --exact`` even though workers answer stats races apart.
+    """
+    n_buckets = len(_BUCKET_BOUNDS) + 1
+    counts = np.zeros(n_buckets, dtype=np.int64)
+    total = 0
+    maximum = 0.0
+    sums: List[float] = []
+    for state in states:
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"histogram state must be a mapping, "
+                f"got {type(state).__name__}"
+            )
+        raw = state.get("counts")
+        if raw is None:
+            raise ValueError("histogram state is missing 'counts'")
+        part = np.asarray(raw, dtype=np.int64)
+        if part.shape != (n_buckets,):
+            raise ValueError(
+                f"histogram state needs {n_buckets} bucket counts, "
+                f"got shape {part.shape}"
+            )
+        if (part < 0).any():
+            raise ValueError("histogram bucket counts must be >= 0")
+        counts += part
+        total += int(state.get("total", int(part.sum())))
+        maximum = max(maximum, float(state.get("max_s", 0.0)))
+        sums.append(float(state.get("sum_s", 0.0)))
+    return _summary_from_counts(total, math.fsum(sums), counts, maximum)
 
 
 class LatencyHistogram:
@@ -43,7 +131,7 @@ class LatencyHistogram:
     """
 
     def __init__(self) -> None:
-        self._bounds = np.logspace(-6.0, 2.0, 65)  # seconds
+        self._bounds = _BUCKET_BOUNDS  # seconds
         self._counts = np.zeros(len(self._bounds) + 1, dtype=np.int64)
         self._total = 0
         self._sum = 0.0
@@ -70,33 +158,7 @@ class LatencyHistogram:
             total = self._total
             counts = self._counts.copy()
             maximum = self._max
-        return self._percentile_of(q, total, counts, maximum)
-
-    def _percentile_of(
-        self, q: float, total: int, counts: np.ndarray, maximum: float
-    ) -> float:
-        """Percentile from one consistent (total, counts, max) snapshot."""
-        if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile must be in 0..100, got {q}")
-        if total == 0:
-            return 0.0
-        rank = q / 100.0 * total
-        cumulative = 0
-        for index, bucket in enumerate(counts):
-            if bucket == 0:
-                continue
-            if cumulative + bucket >= rank:
-                lo = self._bounds[index - 1] if index > 0 else 0.0
-                hi = (
-                    self._bounds[index]
-                    if index < len(self._bounds) else maximum
-                )
-                fraction = (rank - cumulative) / bucket
-                estimate = lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
-                # The true maximum is known exactly; never estimate past it.
-                return float(min(estimate, maximum))
-            cumulative += bucket
-        return maximum
+        return _percentile_from_counts(q, total, counts, maximum)
 
     def summary(self) -> Dict[str, float]:
         # One snapshot for everything, so p50 <= p95 <= p99 <= max even
@@ -105,15 +167,17 @@ class LatencyHistogram:
             total, latency_sum = self._total, self._sum
             counts = self._counts.copy()
             maximum = self._max
-        mean = latency_sum / total if total else 0.0
-        return {
-            "count": float(total),
-            "mean_s": mean,
-            "p50_s": self._percentile_of(50.0, total, counts, maximum),
-            "p95_s": self._percentile_of(95.0, total, counts, maximum),
-            "p99_s": self._percentile_of(99.0, total, counts, maximum),
-            "max_s": maximum,
-        }
+        return _summary_from_counts(total, latency_sum, counts, maximum)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Mergeable snapshot (see :func:`merge_latency_states`)."""
+        with self._lock:
+            return {
+                "counts": [int(c) for c in self._counts],
+                "total": int(self._total),
+                "sum_s": float(self._sum),
+                "max_s": float(self._max),
+            }
 
 
 class RateMeter:
@@ -215,7 +279,10 @@ class LinkMetrics:
                 self.words_decoded += n_words
         self.throughput.add(n_words)
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, include_histogram: bool = False) -> Dict[str, object]:
+        """Counter/gauge snapshot; ``include_histogram`` adds the raw
+        latency bucket state so a fleet front can merge per-link
+        histograms with :func:`merge_latency_states`."""
         with self._lock:
             uptime = time.monotonic() - self.created_at
             batches = self.batches
@@ -237,6 +304,8 @@ class LinkMetrics:
             }
         data["words_per_s"] = self.throughput.rate()
         data["latency"] = self.latency.summary()
+        if include_histogram:
+            data["latency_state"] = self.latency.state_dict()
         return data
 
 
@@ -309,6 +378,82 @@ class EnergyAccount:
             self._ones += bits.sum(axis=0, dtype=np.int64)
             self._n_samples += bits.shape[0]
             self._last = bits[-1].copy()
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-able snapshot of the exact accumulated stream moments.
+
+        Every entry is a plain int (the Gram matrix, ones counts, sample
+        count and boundary sample are integers by construction), so the
+        snapshot survives JSON and the checkpoint store losslessly and a
+        :meth:`load_state_dict` restore continues the accounting
+        bit-identically.
+        """
+        with self._lock:
+            return {
+                "n_lines": self.n_lines,
+                "gram": [[int(x) for x in row] for row in self._gram],
+                "ones": [int(x) for x in self._ones],
+                "n_samples": int(self._n_samples),
+                "last": (
+                    None if self._last is None
+                    else [int(x) for x in self._last]
+                ),
+            }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot (exact inverse)."""
+        if not isinstance(state, Mapping):
+            raise ValueError(
+                f"account state must be a mapping, got {type(state).__name__}"
+            )
+        n = self.n_lines
+        if state.get("n_lines") != n:
+            raise ValueError(
+                f"account state is for {state.get('n_lines')!r} lines, "
+                f"account has {n}"
+            )
+        gram = np.asarray(state.get("gram"), dtype=np.int64)
+        if gram.shape != (n, n):
+            raise ValueError(
+                f"account state 'gram' must be ({n}, {n}), "
+                f"got shape {gram.shape}"
+            )
+        ones = np.asarray(state.get("ones"), dtype=np.int64)
+        if ones.shape != (n,):
+            raise ValueError(
+                f"account state 'ones' must have {n} entries, "
+                f"got shape {ones.shape}"
+            )
+        n_samples = state.get("n_samples")
+        if not isinstance(n_samples, int) or isinstance(n_samples, bool) \
+                or n_samples < 0:
+            raise ValueError(
+                f"account state 'n_samples' must be an int >= 0, "
+                f"got {n_samples!r}"
+            )
+        if (ones < 0).any() or (ones > n_samples).any():
+            raise ValueError(
+                "account state 'ones' counts must be in 0..n_samples"
+            )
+        raw_last = state.get("last")
+        last: Optional[np.ndarray] = None
+        if raw_last is not None:
+            last = np.asarray(raw_last, dtype=np.int64)
+            if last.shape != (n,) or not np.isin(last, (0, 1)).all():
+                raise ValueError(
+                    f"account state 'last' must be {n} bits (0/1)"
+                )
+            last = last.astype(np.uint8)
+        if (last is None) != (n_samples == 0):
+            raise ValueError(
+                "account state 'last' must be present exactly when "
+                "n_samples > 0"
+            )
+        with self._lock:
+            self._gram = gram.copy()
+            self._ones = ones.copy()
+            self._n_samples = n_samples
+            self._last = last
 
     @property
     def n_samples(self) -> int:
@@ -430,5 +575,10 @@ REPRO_SIGNATURES = {
     "@deterministic": [
         "EnergyAccount.statistics",
         "EnergyAccount.report",
+        # Fleet-level fold: integer bucket/total sums, max of maxima and
+        # math.fsum (the correctly rounded true sum) make the merge a
+        # commutative monoid — any merge order yields the same bits.
+        "merge_latency_states",
+        "EnergyAccount.state_dict",
     ],
 }

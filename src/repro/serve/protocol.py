@@ -25,6 +25,33 @@ name) and ``message``. Responses are matched by ``id``, **not** by
 order: a pipelining client may have many requests in flight and the
 server may answer them as their batches complete.
 
+Version 1 additionally defines three *optional* header fields used by
+the fleet (:mod:`repro.serve.fleet`) and the retrying client — absent
+fields keep the exact pre-fleet semantics, so every peer stays
+compatible:
+
+``seq`` (request, int >= 1)
+    Fleet sequence number of a data-plane request. The worker folds it
+    into ``LinkSession.applied_seq`` when the request mutates codec
+    state, which is how snapshots name their cut of the front's replay
+    journal.
+``replay`` (request, bool)
+    The frame re-issues a journaled request after a worker restart.
+    Deadlines are ignored during replay — a request that was applied
+    before the crash *must* be re-applied, or the restored stream
+    diverges from the original.
+``retriable`` (response, bool)
+    NACK refinement on ``ok: false`` errors: the request was **not**
+    applied to codec state and may be safely re-issued (e.g. the fleet
+    front shedding while a worker restarts). Errors without the flag
+    must not be blindly retried — the stream is broken, not congested.
+
+A client that sends a ``hello`` op with a ``session`` token opts into
+server-side response caching: the server remembers recent responses per
+session so a reconnecting client can re-issue requests the old
+connection never answered and receive the *original* results instead of
+re-executing them (exactly-once semantics for the retry path).
+
 Both asyncio-stream and blocking-file helpers live here so the asyncio
 server and the synchronous client share one framing implementation.
 """
@@ -56,6 +83,25 @@ WORD_BYTES = 8
 
 class ProtocolError(RuntimeError):
     """The peer sent bytes that are not a valid protocol frame."""
+
+
+def error_header(
+    request_id: Any, exc: BaseException, retriable: bool = False
+) -> Dict[str, Any]:
+    """The ``ok: false`` response header for a failed request.
+
+    ``retriable=True`` marks a NACK: the request did not touch codec
+    state and the client may re-issue it verbatim.
+    """
+    header: Dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+    }
+    if retriable:
+        header["retriable"] = True
+    return header
 
 
 def pack_frame(header: Dict[str, Any], payload: bytes = b"") -> bytes:

@@ -18,14 +18,18 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import sys
 import threading
-from typing import Any, Dict, Optional, Tuple, Union
+import traceback
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.serve.engine import BatchPolicy, ServeEngine, ServeEngineError
 from repro.serve.protocol import (
     ProtocolError,
+    error_header,
     payload_to_words,
     read_frame,
     words_to_payload,
@@ -37,8 +41,14 @@ logger = logging.getLogger("repro.serve")
 
 #: ``op`` values the server answers.
 OPS = (
-    "ping", "create_link", "drop_link", "encode", "decode", "stats", "reset"
+    "ping", "create_link", "drop_link", "encode", "decode", "stats",
+    "reset", "hello",
 )
+
+#: Responses remembered per client session (for reconnect replay).
+SESSION_CACHE_LIMIT = 1024
+#: Client sessions remembered per server (LRU beyond this).
+MAX_CLIENT_SESSIONS = 64
 
 
 def jsonable(value: Any) -> Any:
@@ -58,6 +68,51 @@ def jsonable(value: Any) -> Any:
     return value
 
 
+class _SessionCache:
+    """Recent responses of one client session, for reconnect replay.
+
+    A client that said ``hello`` with a session token may lose its
+    connection after the server executed a request but before the
+    response arrived. The cache answers the re-issued request with the
+    *original* response instead of re-executing it — re-encoding would
+    advance the codec history twice and corrupt the stream. Bounded LRU:
+    a client window deeper than the bound cannot be replayed safely and
+    surfaces as an ordinary unknown-request execution.
+    """
+
+    def __init__(self, limit: int = SESSION_CACHE_LIMIT) -> None:
+        self._responses: "OrderedDict[int, Tuple[Dict[str, Any], bytes]]" = (
+            OrderedDict()
+        )
+        self._limit = limit
+
+    def remember(
+        self, request_id: Any, header: Dict[str, Any], payload: bytes
+    ) -> None:
+        if not isinstance(request_id, int):
+            return
+        self._responses[request_id] = (header, payload)
+        self._responses.move_to_end(request_id)
+        while len(self._responses) > self._limit:
+            self._responses.popitem(last=False)
+
+    def recall(
+        self, request_id: Any
+    ) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        if not isinstance(request_id, int):
+            return None
+        return self._responses.get(request_id)
+
+
+class _Connection:
+    """Per-connection state threaded through the dispatch path."""
+
+    __slots__ = ("session",)
+
+    def __init__(self) -> None:
+        self.session: Optional[_SessionCache] = None
+
+
 class LinkServer:
     """One engine behind one listening socket (TCP or unix)."""
 
@@ -72,6 +127,10 @@ class LinkServer:
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self.address: Optional[Union[Tuple[str, int], str]] = None
+        self._client_sessions: "OrderedDict[str, _SessionCache]" = (
+            OrderedDict()
+        )
+        self._conn_tasks: "set[asyncio.Task[None]]" = set()
 
     async def start(
         self,
@@ -107,21 +166,54 @@ class LinkServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # wait_closed() does not cover handler coroutines on 3.11: a
+        # client parked in read_frame would outlive the loop and leak a
+        # GeneratorExit warning at GC. Cancel and reap them explicitly.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+            self._conn_tasks.clear()
         await self.engine.close()
 
     # -- connection handling ------------------------------------------------
 
+    def _client_session(self, token: str) -> _SessionCache:
+        """The (possibly new) response cache of client session ``token``."""
+        session = self._client_sessions.get(token)
+        if session is None:
+            session = _SessionCache()
+            self._client_sessions[token] = session
+        self._client_sessions.move_to_end(token)
+        while len(self._client_sessions) > MAX_CLIENT_SESSIONS:
+            self._client_sessions.popitem(last=False)
+        return session
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        me = asyncio.current_task()
+        if me is not None:
+            self._conn_tasks.add(me)
+            me.add_done_callback(self._conn_tasks.discard)
         write_lock = asyncio.Lock()
         tasks = set()
+        conn = _Connection()
 
         async def reply(
             header: Dict[str, Any], payload: bytes = b""
         ) -> None:
-            async with write_lock:
-                await write_frame(writer, header, payload)
+            # Best-effort: a peer that vanished mid-response loses the
+            # frame, not the server. Session connections rely on this —
+            # their in-flight tasks drain into the response cache after
+            # the writer is gone, so the reconnecting client replays.
+            try:
+                async with write_lock:
+                    await write_frame(writer, header, payload)
+            except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+                logger.debug("response write failed: %s", exc)
 
         try:
             while True:
@@ -129,15 +221,22 @@ class LinkServer:
                     header, payload = await read_frame(reader)
                 except EOFError:
                     break
-                task = self._dispatch(header, payload, reply)
+                task = self._dispatch(header, payload, reply, conn)
                 if task is not None:
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
         except (ProtocolError, ConnectionResetError) as exc:
             logger.warning("dropping connection: %s", exc)
+        except asyncio.CancelledError:
+            # close() reaps parked handlers; end the task cleanly so the
+            # stream wrapper's done-callback doesn't log the cancel.
+            pass
         finally:
-            for task in list(tasks):
-                task.cancel()
+            if conn.session is None:
+                for task in list(tasks):
+                    task.cancel()
+            # else: let in-flight responses finish into the session
+            # cache; their replies to the dead writer are swallowed.
             writer.close()
             try:
                 await writer.wait_closed()
@@ -145,7 +244,11 @@ class LinkServer:
                 pass
 
     def _dispatch(
-        self, header: Dict[str, Any], payload: bytes, reply: Any
+        self,
+        header: Dict[str, Any],
+        payload: bytes,
+        reply: Any,
+        conn: Optional[_Connection] = None,
     ) -> Optional["asyncio.Task[None]"]:
         """Handle one request frame; returns the detached response task.
 
@@ -156,24 +259,53 @@ class LinkServer:
         request_id = header.get("id")
         op = header.get("op")
         loop = asyncio.get_running_loop()
+        conn = conn or _Connection()
+        session = conn.session
+
+        if session is not None:
+            cached = session.recall(request_id)
+            if cached is not None:
+                # Reconnect replay: the previous connection already
+                # executed this id; answer with the original response.
+                return loop.create_task(reply(cached[0], cached[1]))
+
+        async def finish(
+            response: Dict[str, Any], body: bytes = b""
+        ) -> None:
+            if session is not None:
+                session.remember(request_id, response, body)
+            await reply(response, body)
 
         async def fail(exc: Exception) -> None:
-            await reply({
-                "id": request_id,
-                "ok": False,
-                "error": type(exc).__name__,
-                "message": str(exc),
-            })
+            await finish(error_header(request_id, exc))
+
+        if op == "hello":
+            token = header.get("session")
+            if not isinstance(token, str) or not token:
+                return loop.create_task(fail(
+                    ValueError("hello needs a non-empty 'session' token")
+                ))
+            conn.session = self._client_session(token)
+            return loop.create_task(reply({"id": request_id, "ok": True}))
 
         if op in ("encode", "decode"):
             link = header.get("link")
+            deadline_s = header.get("deadline_s")
+            if header.get("replay"):
+                # Replayed requests were already accepted once; expiring
+                # them now would fork the restored stream from history.
+                deadline_s = None
             try:
+                seq = header.get("seq")
                 words = payload_to_words(payload)
                 future = self.engine.enqueue(
                     str(link), op, words,
-                    deadline_s=header.get("deadline_s"),
+                    deadline_s=deadline_s,
+                    seq=None if seq is None else int(seq),
                 )
-            except (ServeEngineError, ProtocolError, ValueError) as exc:
+            except (
+                ServeEngineError, ProtocolError, ValueError, TypeError
+            ) as exc:
                 return loop.create_task(fail(exc))
 
             async def respond() -> None:
@@ -184,13 +316,15 @@ class LinkServer:
                 except Exception as exc:
                     await fail(exc)
                     return
-                await reply(
+                await finish(
                     {"id": request_id, "ok": True, "count": len(result)},
                     words_to_payload(result),
                 )
 
             return loop.create_task(respond())
-        return loop.create_task(self._control(op, header, request_id, reply))
+        return loop.create_task(
+            self._control(op, header, request_id, finish)
+        )
 
     async def _control(
         self,
@@ -211,12 +345,7 @@ class LinkServer:
                 exc, (ServeEngineError, LinkConfigError, ValueError, KeyError)
             ):
                 logger.exception("control op %r failed", op)
-            await reply({
-                "id": request_id,
-                "ok": False,
-                "error": type(exc).__name__,
-                "message": str(exc),
-            })
+            await reply(error_header(request_id, exc))
             return
         response = {"id": request_id, "ok": True}
         response.update(result)
@@ -244,11 +373,15 @@ class LinkServer:
             link = header.get("link")
             return {
                 "stats": self.engine.stats(
-                    None if link is None else str(link)
+                    None if link is None else str(link),
+                    include_histogram=bool(header.get("latency_state")),
                 )
             }
         if op == "reset":
-            self.engine.session(str(header.get("link"))).reset()
+            seq = header.get("seq")
+            self.engine.session(str(header.get("link"))).reset(
+                seq=None if seq is None else int(seq)
+            )
             return {}
         raise ValueError(f"unknown op {op!r}; known: {list(OPS)}")
 
@@ -272,18 +405,25 @@ class BackgroundServer:
         port: int = 0,
         path: Optional[str] = None,
         max_workers: Optional[int] = None,
+        server_factory: Optional[Callable[[], Any]] = None,
+        stop_timeout_s: float = 30.0,
     ) -> None:
         self._policy = policy
         self._host = host
         self._port = port
         self._path = path
         self._max_workers = max_workers
+        #: Builds the server object on the loop thread. Anything with
+        #: the LinkServer surface (async start/close, .address) works —
+        #: the fleet front rides the same harness.
+        self._server_factory = server_factory
+        self._stop_timeout_s = float(stop_timeout_s)
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Future] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._startup_error: Optional[BaseException] = None
-        self.server: Optional[LinkServer] = None
+        self.server: Optional[Any] = None
 
     @property
     def address(self) -> Union[Tuple[str, int], str]:
@@ -316,9 +456,12 @@ class BackgroundServer:
             loop.close()
 
     async def _main(self) -> None:
-        server = LinkServer(
-            policy=self._policy, max_workers=self._max_workers
-        )
+        if self._server_factory is not None:
+            server = self._server_factory()
+        else:
+            server = LinkServer(
+                policy=self._policy, max_workers=self._max_workers
+            )
         try:
             await server.start(
                 host=self._host, port=self._port, path=self._path
@@ -336,15 +479,43 @@ class BackgroundServer:
             await server.close()
 
     def stop(self) -> None:
+        """Stop the loop and join its thread.
+
+        Raises :class:`RuntimeError` — with the stuck thread's current
+        stack — when the thread outlives ``stop_timeout_s``: a hung
+        teardown must never masquerade as a clean stop (the daemon
+        thread would keep mutating engine state behind the caller's
+        back). The thread reference is kept so a later ``stop()`` can
+        retry the join.
+        """
         loop, stop = self._loop, self._stop
         if loop is None or self._thread is None:
             return
+        thread = self._thread
         if stop is not None:
             def _finish() -> None:
                 if not stop.done():
                     stop.set_result(None)
-            loop.call_soon_threadsafe(_finish)
-        self._thread.join(timeout=30.0)
+            try:
+                loop.call_soon_threadsafe(_finish)
+            except RuntimeError:
+                # Loop already closed: the thread is past its teardown
+                # (a retried stop() after a hang) — just join below.
+                pass
+        thread.join(timeout=self._stop_timeout_s)
+        if thread.is_alive():
+            frame = sys._current_frames().get(thread.ident)
+            stack = (
+                "".join(traceback.format_stack(frame))
+                if frame is not None else "  <stack unavailable>\n"
+            )
+            message = (
+                f"server thread {thread.name!r} still alive "
+                f"{self._stop_timeout_s:.1f}s after stop was requested; "
+                f"stuck at:\n{stack.rstrip()}"
+            )
+            logger.error("%s", message)
+            raise RuntimeError(message)
         self._thread = None
 
     def __enter__(self) -> "BackgroundServer":

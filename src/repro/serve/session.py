@@ -253,6 +253,12 @@ class LinkSession:
         capacitance = cap_model_for(geometry, config.cap_method)
         self.coded_energy = EnergyAccount(self.n_lines, capacitance)
         self.uncoded_energy = EnergyAccount(self.n_lines, capacitance)
+        #: Highest fleet sequence number whose effect is reflected in the
+        #: codec histories and energy accounts. 0 = nothing applied. The
+        #: fleet front uses this cut to trim its replay journal: a
+        #: snapshot taken under the lock is consistent with exactly the
+        #: requests numbered <= applied_seq.
+        self.applied_seq = 0
         self._lock = threading.Lock()
 
     # -- data path ----------------------------------------------------------
@@ -265,8 +271,16 @@ class LinkSession:
         padded[:, : bits.shape[1]] = bits
         return padded
 
-    def encode(self, words: np.ndarray) -> np.ndarray:
-        """Payload words -> coded transport words, booking both accounts."""
+    def encode(
+        self, words: np.ndarray, seq: Optional[int] = None
+    ) -> np.ndarray:
+        """Payload words -> coded transport words, booking both accounts.
+
+        ``seq`` (when given) is the fleet sequence number of the last
+        request in the batch; it is folded into :attr:`applied_seq` under
+        the same lock that mutates the codec chain, so snapshots are
+        consistent cuts of the request stream.
+        """
         with self._lock:
             coded = self.chain.encode(words)
             if len(coded):
@@ -284,14 +298,21 @@ class LinkSession:
                         )
                     )
                 )
+            if seq is not None:
+                self.applied_seq = max(self.applied_seq, int(seq))
             return coded
 
-    def decode(self, coded: np.ndarray) -> np.ndarray:
+    def decode(
+        self, coded: np.ndarray, seq: Optional[int] = None
+    ) -> np.ndarray:
         """Coded transport words -> payload words (exact inverse)."""
         with self._lock:
-            return self.chain.decode(coded)
+            decoded = self.chain.decode(coded)
+            if seq is not None:
+                self.applied_seq = max(self.applied_seq, int(seq))
+            return decoded
 
-    def reset(self) -> None:
+    def reset(self, seq: Optional[int] = None) -> None:
         """Restart the stream: codec histories and energy accounts."""
         from repro.experiments.common import cap_model_for
 
@@ -302,6 +323,68 @@ class LinkSession:
             )
             self.coded_energy = EnergyAccount(self.n_lines, capacitance)
             self.uncoded_energy = EnergyAccount(self.n_lines, capacitance)
+            if seq is not None:
+                self.applied_seq = max(self.applied_seq, int(seq))
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def _snapshot_locked(self) -> Dict[str, Any]:
+        return {
+            "applied_seq": int(self.applied_seq),
+            "chain": self.chain.state_dict(),
+            "coded_energy": self.coded_energy.state_dict(),
+            "uncoded_energy": self.uncoded_energy.state_dict(),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able exact state: codec histories, accounts, sequence cut.
+
+        Every leaf is an int or bool, so the snapshot survives JSON (and
+        :class:`~repro.runtime.artifacts.CheckpointStore`) losslessly;
+        :meth:`restore` followed by replaying the requests numbered after
+        ``applied_seq`` reproduces the uninterrupted stream bit for bit.
+        """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Load a :meth:`snapshot`; atomic — a bad snapshot changes nothing.
+
+        Raises :class:`ValueError` when the snapshot does not match this
+        session's configuration (codec kinds, line counts) or fails
+        validation; the session keeps its pre-call state in that case.
+        """
+        if not isinstance(snapshot, Mapping):
+            raise ValueError(
+                f"snapshot must be a mapping, got {type(snapshot).__name__}"
+            )
+        expected = {"applied_seq", "chain", "coded_energy", "uncoded_energy"}
+        unknown = set(snapshot) - expected
+        if unknown:
+            raise ValueError(f"unknown snapshot fields: {sorted(unknown)}")
+        seq = snapshot.get("applied_seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise ValueError(
+                f"snapshot 'applied_seq' must be an int >= 0, got {seq!r}"
+            )
+        with self._lock:
+            previous = self._snapshot_locked()
+            try:
+                self.chain.load_state_dict(snapshot.get("chain"))
+                self.coded_energy.load_state_dict(
+                    snapshot.get("coded_energy")
+                )
+                self.uncoded_energy.load_state_dict(
+                    snapshot.get("uncoded_energy")
+                )
+            except ValueError:
+                self.chain.load_state_dict(previous["chain"])
+                self.coded_energy.load_state_dict(previous["coded_energy"])
+                self.uncoded_energy.load_state_dict(
+                    previous["uncoded_energy"]
+                )
+                raise
+            self.applied_seq = seq
 
     # -- reporting ----------------------------------------------------------
 
@@ -345,9 +428,12 @@ REPRO_SIGNATURES = {
     "LinkConfig.from_dict": {"data": "any", "return": "LinkConfig"},
     "LinkSession": {"config": "LinkConfig"},
     "LinkSession.encode": {"words": "(T,) dimensionless",
+                           "seq": "scalar dimensionless",
                            "return": "(T,) dimensionless"},
     "LinkSession.decode": {"coded": "(T,) dimensionless",
+                           "seq": "scalar dimensionless",
                            "return": "(T,) dimensionless"},
+    "LinkSession.applied_seq": "scalar dimensionless",
     "LinkSession.n_lines": "scalar dimensionless",
     "LinkSession.coded_energy": "EnergyAccount",
     "LinkSession.uncoded_energy": "EnergyAccount",
@@ -359,9 +445,15 @@ REPRO_SIGNATURES = {
         "LinkSession.chain guarded_by _lock",
         "LinkSession.coded_energy guarded_by _lock",
         "LinkSession.uncoded_energy guarded_by _lock",
+        "LinkSession.applied_seq guarded_by _lock",
     ],
     # Exactness discipline (REP3xx): the energy report feeds client
     # responses and the bench_serve online-vs-offline gate — it must be
-    # identical for identical word streams.
-    "@deterministic": ["LinkSession.energy_report"],
+    # identical for identical word streams — and the snapshot is the
+    # fleet failover contract: identical state must serialize to
+    # identical bits.
+    "@deterministic": [
+        "LinkSession.energy_report",
+        "LinkSession.snapshot",
+    ],
 }

@@ -187,3 +187,86 @@ class TestPlanConcurrency:
         assert errors == []
         # The watcher only ever saw fully-installed plans.
         assert seen <= {"chain_crash(1)", "slow_solve(0.001)"}
+
+
+class TestWorkerFaultParsing:
+    def test_worker_crash_needs_an_index(self):
+        with pytest.raises(ValueError, match="worker index"):
+            FaultPlan("worker_crash(once)")
+
+    def test_worker_crash_at_must_be_positive(self):
+        with pytest.raises(ValueError, match="at="):
+            FaultPlan("worker_crash(0,at=0)")
+
+    def test_worker_hang_needs_a_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultPlan("worker_hang()")
+
+    def test_worker_hang_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultPlan("worker_hang(-1.0)")
+
+    def test_fleet_spec_combines_with_legacy_points(self):
+        plan = FaultPlan(
+            "worker_crash(1,at=12); snapshot_corrupt(2); slow_solve(0.0)"
+        )
+        assert plan.active("worker_crash")
+        assert plan.active("snapshot_corrupt")
+        assert plan.active("slow_solve")
+        assert not plan.active("worker_hang")
+
+
+class TestWorkerCrashFiring:
+    def test_targets_only_the_named_worker(self):
+        plan = FaultPlan("worker_crash(1)")
+        plan.fire("worker_crash", worker=0, generation=0)  # not targeted
+        with pytest.raises(InjectedFault):
+            plan.fire("worker_crash", worker=1, generation=0)
+
+    def test_every_generation_without_once(self):
+        plan = FaultPlan("worker_crash(1)")
+        for generation in range(3):
+            with pytest.raises(InjectedFault):
+                plan.fire("worker_crash", worker=1, generation=generation)
+
+    def test_once_spares_restarted_workers(self):
+        plan = FaultPlan("worker_crash(1,once)")
+        with pytest.raises(InjectedFault):
+            plan.fire("worker_crash", worker=1, generation=0)
+        # The restarted incarnation must survive or the fleet livelocks.
+        plan.fire("worker_crash", worker=1, generation=1)
+
+    def test_at_counts_requests_of_generation_zero_only(self):
+        plan = FaultPlan("worker_crash(0,at=3)")
+        plan.fire("worker_crash", worker=0, generation=0)
+        plan.fire("worker_crash", worker=0, generation=0)
+        with pytest.raises(InjectedFault):
+            plan.fire("worker_crash", worker=0, generation=0)
+        # A restarted worker has a fresh request counter; counting it
+        # again would re-crash every incarnation forever.
+        for _ in range(5):
+            plan.fire("worker_crash", worker=0, generation=1)
+
+
+class TestWorkerHangAndSnapshotCorrupt:
+    def test_worker_hang_zero_duration_returns(self):
+        plan = FaultPlan("worker_hang(0.0)")
+        plan.fire("worker_hang", worker=0)  # must not raise nor block
+
+    def test_snapshot_corrupt_truncates_budgeted_checkpoints(
+        self, tmp_path
+    ):
+        plan = FaultPlan("snapshot_corrupt(1)")
+        first = tmp_path / "snap-a.json"
+        second = tmp_path / "snap-b.json"
+        payload = b"x" * 64
+        first.write_bytes(payload)
+        second.write_bytes(payload)
+        plan.fire("snapshot_corrupt", path=first)
+        plan.fire("snapshot_corrupt", path=second)
+        assert len(first.read_bytes()) < len(payload)  # truncated
+        assert second.read_bytes() == payload  # budget exhausted
+
+    def test_snapshot_corrupt_without_path_is_inert(self):
+        plan = FaultPlan("snapshot_corrupt(1)")
+        plan.fire("snapshot_corrupt")  # no path in context: no-op

@@ -213,10 +213,10 @@ class TestLifecycle:
         async def body(engine):
             original = engine._run_batch
 
-            def stalled_run_batch(session, op, words):
+            def stalled_run_batch(session, op, words, seq=None):
                 started.set()
                 release.wait(5.0)
-                return original(session, op, words)
+                return original(session, op, words, seq)
 
             engine._run_batch = stalled_run_batch
             engine.create_link("L", make_config())

@@ -11,6 +11,7 @@ from repro.serve.metrics import (
     LatencyHistogram,
     LinkMetrics,
     RateMeter,
+    merge_latency_states,
 )
 from repro.stats.switching import BitStatistics
 from repro.tsv.geometry import TSVArrayGeometry
@@ -209,3 +210,58 @@ class TestSnapshotConsistency:
         for thread in threads:
             thread.join(timeout=60.0)
         assert meter.total == 4000
+
+
+class TestMergeLatencyStates:
+    """The fleet-level histogram fold must be order-invariant: links
+    arrive from workers in whatever order the stats race settles, and
+    the merged summary must not depend on it."""
+
+    @staticmethod
+    def histogram_state(latencies):
+        histogram = LatencyHistogram()
+        for seconds in latencies:
+            histogram.record(seconds)
+        return histogram.state_dict()
+
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.floats(min_value=0.0, max_value=30.0,
+                          allow_nan=False, allow_infinity=False),
+                max_size=30,
+            ),
+            max_size=8,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_permutation_merges_bit_identically(self, batches, data):
+        states = [self.histogram_state(batch) for batch in batches]
+        merged = merge_latency_states(states)
+        permuted = data.draw(st.permutations(states))
+        assert merge_latency_states(permuted) == merged
+        # Sanity: the fold actually aggregated everything.
+        assert merged["count"] == sum(len(batch) for batch in batches)
+
+    def test_single_state_matches_its_summary(self):
+        latencies = [0.001, 0.01, 0.25, 3.0]
+        state = self.histogram_state(latencies)
+        merged = merge_latency_states([state])
+        histogram = LatencyHistogram()
+        for seconds in latencies:
+            histogram.record(seconds)
+        summary = histogram.summary()
+        for key in ("p50_s", "p95_s", "p99_s", "max_s", "mean_s"):
+            assert merged[key] == summary[key]
+
+    def test_malformed_state_rejected(self):
+        good = self.histogram_state([0.01])
+        with pytest.raises(ValueError):
+            merge_latency_states([good, "not-a-mapping"])
+        bad = dict(good, counts=[1, 2, 3])
+        with pytest.raises(ValueError):
+            merge_latency_states([bad])
+        missing = {k: v for k, v in good.items() if k != "counts"}
+        with pytest.raises(ValueError, match="counts"):
+            merge_latency_states([missing])

@@ -1,0 +1,157 @@
+"""Client-side retry: reconnect replay and retriable-NACK re-issue.
+
+Retries are strictly opt-in (``retries=0`` keeps the old fail-fast
+behaviour). With ``retries=N`` the client reconnects with bounded
+exponential backoff, replays un-ACKed requests through the server's
+session cache (exactly-once), and re-issues explicit retriable NACKs.
+"""
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve import LinkClient, OverloadedError
+from repro.serve.protocol import error_header
+from repro.serve.server import BackgroundServer, LinkServer, jsonable
+from repro.serve.session import LinkConfig
+
+CONFIG = LinkConfig.from_dict({
+    "width": 8,
+    "geometry": {"rows": 3, "cols": 3, "pitch": 4.0e-6, "radius": 1.0e-6},
+    "codecs": [{"kind": "correlator", "n_channels": 4, "negated": True}],
+})
+
+
+def words_stream(n=2000, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**8, size=n, dtype=np.int64)
+
+
+class SheddingServer(LinkServer):
+    """NACKs the first attempt of every data request, retriably."""
+
+    def __init__(self, always=False):
+        super().__init__()
+        self.always = always
+        self.shed_ids = set()
+
+    def _dispatch(self, header, payload, reply, conn=None):
+        request_id = header.get("id")
+        if (header.get("op") in ("encode", "decode")
+                and (self.always or request_id not in self.shed_ids)):
+            self.shed_ids.add(request_id)
+            loop = asyncio.get_running_loop()
+            return loop.create_task(reply(jsonable(error_header(
+                request_id, OverloadedError("shed for test"),
+                retriable=True,
+            ))))
+        return super()._dispatch(header, payload, reply, conn)
+
+
+def fast_retries(**kwargs):
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff_base_s", 0.01)
+    kwargs.setdefault("backoff_max_s", 0.05)
+    return kwargs
+
+
+class TestReconnectReplay:
+    def test_severed_socket_replay_is_bit_identical(self, tmp_path):
+        words = words_stream()
+        with BackgroundServer(path=str(tmp_path / "rt.sock")) as bg:
+            with LinkClient.connect(bg.address) as plain:
+                plain.create_link("base", CONFIG)
+                expected = plain.stream("base", words, op="encode",
+                                        chunk_words=100)
+
+            with LinkClient.connect(bg.address, **fast_retries()) as client:
+                client.create_link("lnk", CONFIG)
+                first = client.stream("lnk", words[:1000], op="encode",
+                                      chunk_words=100)
+                # Sever the transport under the client's feet.
+                client._sock.shutdown(socket.SHUT_RDWR)
+                second = client.stream("lnk", words[1000:], op="encode",
+                                       chunk_words=100)
+        got = np.concatenate([first, second])
+        assert np.array_equal(expected, got), "replay forked the stream"
+
+    def test_retries_off_fails_fast(self, tmp_path):
+        with BackgroundServer(path=str(tmp_path / "rt.sock")) as bg:
+            with LinkClient.connect(bg.address) as client:
+                client.create_link("lnk", CONFIG)
+                client._sock.shutdown(socket.SHUT_RDWR)
+                with pytest.raises((ConnectionError, EOFError, OSError)):
+                    client.stream("lnk", words_stream(n=100), op="encode")
+
+    def test_dead_server_exhausts_budget(self, tmp_path):
+        with BackgroundServer(path=str(tmp_path / "rt.sock")) as bg:
+            client = LinkClient.connect(
+                bg.address, **fast_retries(retries=2)
+            )
+            client.create_link("lnk", CONFIG)
+        # Server gone for good: recovery must give up after the budget.
+        with pytest.raises(ConnectionError):
+            client.stream("lnk", words_stream(n=100), op="encode")
+        client.close()
+
+
+class TestRetriableNack:
+    def test_nack_is_reissued_and_stream_stays_exact(self, tmp_path):
+        words = words_stream(n=1000)
+        with BackgroundServer(path=str(tmp_path / "base.sock")) as bg:
+            with LinkClient.connect(bg.address) as plain:
+                plain.create_link("lnk", CONFIG)
+                expected = plain.stream("lnk", words, op="encode",
+                                        chunk_words=100)
+
+        shedding = SheddingServer()
+        with BackgroundServer(
+            path=str(tmp_path / "shed.sock"),
+            server_factory=lambda: shedding,
+        ) as bg:
+            with LinkClient.connect(bg.address, **fast_retries()) as client:
+                client.create_link("lnk", CONFIG)
+                got = client.stream("lnk", words, op="encode",
+                                    chunk_words=100)
+        assert shedding.shed_ids, "server never shed -- test is vacuous"
+        assert np.array_equal(expected, got)
+
+    def test_nack_without_retries_raises(self, tmp_path):
+        with BackgroundServer(
+            path=str(tmp_path / "shed.sock"),
+            server_factory=SheddingServer,
+        ) as bg:
+            with LinkClient.connect(bg.address) as client:
+                client.create_link("lnk", CONFIG)
+                with pytest.raises(OverloadedError):
+                    client.stream("lnk", words_stream(n=100), op="encode")
+
+    def test_permanent_shedding_exhausts_nack_budget(self, tmp_path):
+        with BackgroundServer(
+            path=str(tmp_path / "shed.sock"),
+            server_factory=lambda: SheddingServer(always=True),
+        ) as bg:
+            with LinkClient.connect(
+                bg.address, **fast_retries(retries=2)
+            ) as client:
+                client.create_link("lnk", CONFIG)
+                with pytest.raises(OverloadedError):
+                    client.stream("lnk", words_stream(n=100), op="encode")
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self, tmp_path):
+        with BackgroundServer(path=str(tmp_path / "rt.sock")) as bg:
+            with pytest.raises(ValueError):
+                LinkClient.connect(bg.address, retries=-1)
+
+    def test_retries_require_an_address(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ValueError):
+                LinkClient(a, retries=2)
+        finally:
+            a.close()
+            b.close()

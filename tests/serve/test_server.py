@@ -243,3 +243,39 @@ class TestUnixSocket:
                     "unix", client.stream("unix", words), op="decode"
                 )
                 np.testing.assert_array_equal(back, words)
+
+
+class TestStopHangDetection:
+    """A hung teardown must never masquerade as a clean stop."""
+
+    def test_stuck_teardown_raises_with_stack(self):
+        import time
+
+        class StuckServer:
+            address = ("127.0.0.1", 1)
+
+            async def start(self, host=None, port=None, path=None):
+                pass
+
+            async def close(self):
+                time.sleep(0.8)  # blocks the loop thread through the join
+
+        background = BackgroundServer(
+            server_factory=StuckServer, stop_timeout_s=0.1
+        )
+        background.start()
+        with pytest.raises(RuntimeError, match="still alive") as excinfo:
+            background.stop()
+        # The stuck thread's stack is in the message, pointing at the
+        # blocking close().
+        assert "stuck at" in str(excinfo.value)
+        assert "close" in str(excinfo.value)
+        # The thread reference is kept: once the blocker drains, a
+        # retried stop() joins cleanly instead of raising again.
+        time.sleep(1.0)
+        background.stop()
+
+    def test_clean_stop_is_silent(self):
+        background = BackgroundServer().start()
+        background.stop()
+        background.stop()  # idempotent

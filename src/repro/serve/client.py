@@ -101,6 +101,17 @@ class LinkClient:
     twice. A response marked ``retriable`` (an explicit
     not-applied NACK, e.g. fleet failover shedding) is also re-issued,
     up to the retry budget.
+
+    Retriable NACKs compose with pipelining through the server's *order
+    fence*: once the server sheds one request of a link's stream it
+    keeps shedding every later data request of that link on this
+    session until the shed requests are re-issued in id order — which is
+    exactly the order NACKs arrive and :meth:`_receive` re-issues them
+    in, so a re-issued chunk is never applied behind a later one. The
+    client verifies the promise: a retriable NACK older than an
+    already-ACKed request of the same link means the fence was broken
+    (or the server predates it); re-issuing would fork the codec
+    history, so the NACK surfaces as its exception instead.
     """
 
     def __init__(
@@ -131,6 +142,9 @@ class LinkClient:
             OrderedDict()
         )
         self._nack_counts: Dict[int, int] = {}
+        #: Highest request id ACKed ok per link (only tracked when
+        #: retrying): the safety bound for retriable-NACK re-issue.
+        self._link_acked: Dict[str, int] = {}
         self._session_token = os.urandom(8).hex() if retries else None
         # Deterministic per-session jitter (seeded stdlib RNG): spreads
         # concurrent reconnects without hurting reproducibility.
@@ -282,11 +296,19 @@ class LinkClient:
                 continue
             response_id = int(header.get("id", -1))
             frame = self._outbox.pop(response_id, None)
+            if frame is not None and header.get("ok"):
+                link = frame[0].get("link")
+                if (
+                    link is not None
+                    and response_id > self._link_acked.get(link, -1)
+                ):
+                    self._link_acked[link] = response_id
             if (
                 not header.get("ok")
                 and header.get("retriable")
                 and frame is not None
                 and self._nack_counts.get(response_id, 0) < self._retries
+                and self._reissue_safe(frame[0], response_id)
             ):
                 # Explicit not-applied NACK (e.g. fleet failover
                 # shedding): safe to re-issue the identical request.
@@ -306,6 +328,23 @@ class LinkClient:
         if not header.get("ok"):
             _raise_server_error(header)
         return header, payload
+
+    def _reissue_safe(
+        self, request_header: Dict[str, Any], response_id: int
+    ) -> bool:
+        """Whether a retriable NACK may be re-issued without reordering.
+
+        The server's order fence (see the class docstring) promises no
+        later request of the same link was — or will be — applied before
+        the re-issue. A retriable NACK *older* than an ACKed request of
+        its link breaks that promise; re-issuing it would append the
+        chunk behind later ones and fork a stateful codec's history, so
+        it must surface as an error instead.
+        """
+        link = request_header.get("link")
+        if link is None:
+            return True
+        return response_id > self._link_acked.get(link, -1)
 
     def _call(
         self, header: Dict[str, Any], payload: bytes = b""

@@ -105,7 +105,14 @@ from repro.serve.protocol import (
     pack_frame,
     read_frame,
 )
-from repro.serve.server import LinkServer, _Connection, jsonable
+from repro.serve.server import (
+    LinkServer,
+    _Connection,
+    _fence_admits,
+    _fence_nack,
+    _fence_record,
+    jsonable,
+)
 from repro.serve.session import LinkConfig
 
 #: A worker's answer to a forwarded data request: response header + raw
@@ -695,6 +702,7 @@ class FleetServer(LinkServer):
         op: str,
         payload: bytes,
         header: Dict[str, Any],
+        on_shed: Optional[Callable[[], None]] = None,
     ) -> "asyncio.Future[_WireReply]":
         """Journal one data request and forward (or park) it."""
         link = self.links.get(link_id)
@@ -715,7 +723,7 @@ class FleetServer(LinkServer):
             self._send_entry(handle, link, entry)
             self._maybe_snapshot(link)
         else:
-            self._park(link, entry)
+            self._park(link, entry, on_shed)
         return future
 
     def _next_seq(self, link: _FleetLink) -> int:
@@ -723,10 +731,21 @@ class FleetServer(LinkServer):
         link.next_seq += 1
         return seq
 
-    def _park(self, link: _FleetLink, entry: _JournalEntry) -> None:
+    def _park(
+        self,
+        link: _FleetLink,
+        entry: _JournalEntry,
+        on_shed: Optional[Callable[[], None]] = None,
+    ) -> None:
         """Hold a request while the link's worker is down/snapshotting."""
         if len(link.parked) >= self.park_limit:
             link.journal.pop(entry.seq, None)
+            if on_shed is not None:
+                # Record the shed *before* the NACK becomes visible:
+                # later requests of the same pipelined stream must hit
+                # the connection's order fence, or the client's re-issue
+                # would be applied out of stream order.
+                on_shed()
             entry.future.set_exception(OverloadedError(
                 f"link {link.link_id!r} is failing over "
                 f"({self.park_limit} requests already parked); retry"
@@ -826,15 +845,35 @@ class FleetServer(LinkServer):
             cached = session.recall(request_id)
             if cached is not None:
                 return loop.create_task(reply(cached[0], cached[1]))
+            pending = session.begin(request_id)
+            if pending is not None:
+                # Replay raced the original (still executing): answer
+                # from its future instead of journaling a second copy.
+                return loop.create_task(
+                    self._answer_pending(pending, reply)
+                )
 
         async def finish(response: Dict[str, Any], body: bytes = b"") -> None:
             if session is not None:
-                session.remember(request_id, response, body)
+                session.complete(request_id, response, body)
             await reply(response, body)
+
+        link_key = str(header.get("link"))
+        on_shed: Optional[Callable[[], None]] = None
+        if session is not None and conn is not None:
+            if not _fence_admits(conn, link_key, request_id):
+                _fence_record(conn, link_key, request_id)
+                return loop.create_task(
+                    finish(_fence_nack(link_key, request_id))
+                )
+            fence_conn = conn
+
+            def on_shed() -> None:
+                _fence_record(fence_conn, link_key, request_id)
 
         try:
             future = self._submit_data(
-                str(header.get("link")), op, payload, header
+                link_key, op, payload, header, on_shed
             )
         except Exception as exc:
             return loop.create_task(finish(_error(request_id, exc)))

@@ -412,13 +412,26 @@ class EnergyAccount:
                 f"account state is for {state.get('n_lines')!r} lines, "
                 f"account has {n}"
             )
-        gram = np.asarray(state.get("gram"), dtype=np.int64)
+        # np.asarray raises TypeError on None/non-numeric input; keep
+        # the whole validation surface ValueError so callers (e.g.
+        # LinkSession.restore's atomic rollback) catch one family.
+        try:
+            gram = np.asarray(state.get("gram"), dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"account state 'gram' must be an integer matrix: {exc}"
+            ) from None
         if gram.shape != (n, n):
             raise ValueError(
                 f"account state 'gram' must be ({n}, {n}), "
                 f"got shape {gram.shape}"
             )
-        ones = np.asarray(state.get("ones"), dtype=np.int64)
+        try:
+            ones = np.asarray(state.get("ones"), dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"account state 'ones' must be an integer vector: {exc}"
+            ) from None
         if ones.shape != (n,):
             raise ValueError(
                 f"account state 'ones' must have {n} entries, "
@@ -438,7 +451,12 @@ class EnergyAccount:
         raw_last = state.get("last")
         last: Optional[np.ndarray] = None
         if raw_last is not None:
-            last = np.asarray(raw_last, dtype=np.int64)
+            try:
+                last = np.asarray(raw_last, dtype=np.int64)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"account state 'last' must be a bit vector: {exc}"
+                ) from None
             if last.shape != (n,) or not np.isin(last, (0, 1)).all():
                 raise ValueError(
                     f"account state 'last' must be {n} bits (0/1)"

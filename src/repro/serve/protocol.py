@@ -91,7 +91,13 @@ def error_header(
     """The ``ok: false`` response header for a failed request.
 
     ``retriable=True`` marks a NACK: the request did not touch codec
-    state and the client may re-issue it verbatim.
+    state and the client may re-issue it verbatim. The flag carries an
+    ordering promise for pipelined streams — a server that sheds one
+    request of a link retriably must keep shedding every later data
+    request of that link on the same session connection until the shed
+    requests are re-issued in id order (the *order fence*, implemented
+    in :mod:`repro.serve.server`); otherwise a re-issued chunk could be
+    applied behind later chunks and fork a stateful codec's history.
     """
     header: Dict[str, Any] = {
         "id": request_id,

@@ -26,7 +26,12 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.serve.engine import BatchPolicy, ServeEngine, ServeEngineError
+from repro.serve.engine import (
+    BatchPolicy,
+    OverloadedError,
+    ServeEngine,
+    ServeEngineError,
+)
 from repro.serve.protocol import (
     ProtocolError,
     error_header,
@@ -69,7 +74,7 @@ def jsonable(value: Any) -> Any:
 
 
 class _SessionCache:
-    """Recent responses of one client session, for reconnect replay.
+    """Recent and in-flight responses of one client session.
 
     A client that said ``hello`` with a session token may lose its
     connection after the server executed a request but before the
@@ -78,6 +83,13 @@ class _SessionCache:
     advance the codec history twice and corrupt the stream. Bounded LRU:
     a client window deeper than the bound cannot be replayed safely and
     surfaces as an ordinary unknown-request execution.
+
+    The cache also tracks ids that are *still executing*: a reconnect
+    can replay an id while the previous connection's dispatch task is
+    mid-flight (the client's read timed out, but the server is merely
+    slow), and only the responses of finished requests are in the LRU.
+    :meth:`begin` hands such a replay the original's pending future so
+    it waits for the one execution instead of starting a second.
     """
 
     def __init__(self, limit: int = SESSION_CACHE_LIMIT) -> None:
@@ -85,6 +97,9 @@ class _SessionCache:
             OrderedDict()
         )
         self._limit = limit
+        self._inflight: Dict[
+            int, "asyncio.Future[Tuple[Dict[str, Any], bytes]]"
+        ] = {}
 
     def remember(
         self, request_id: Any, header: Dict[str, Any], payload: bytes
@@ -103,14 +118,100 @@ class _SessionCache:
             return None
         return self._responses.get(request_id)
 
+    def begin(
+        self, request_id: Any
+    ) -> Optional["asyncio.Future[Tuple[Dict[str, Any], bytes]]"]:
+        """Mark ``request_id`` as executing; owner must :meth:`complete`.
+
+        Returns the original's pending future when the id is already in
+        flight — the caller must answer from that future rather than
+        execute the request a second time (exactly-once across replay).
+        Returns ``None`` when the caller owns the (single) execution.
+        """
+        if not isinstance(request_id, int):
+            return None
+        pending = self._inflight.get(request_id)
+        if pending is not None:
+            return pending
+        self._inflight[request_id] = (
+            asyncio.get_running_loop().create_future()
+        )
+        return None
+
+    def complete(
+        self, request_id: Any, header: Dict[str, Any], payload: bytes
+    ) -> None:
+        """Record a finished execution and wake replay waiters.
+
+        Retriable NACKs are deliberately *not* remembered: they promise
+        the request was never applied, so its re-issue under the same id
+        must execute fresh instead of being answered with the stale NACK
+        forever.
+        """
+        if not header.get("retriable"):
+            self.remember(request_id, header, payload)
+        if not isinstance(request_id, int):
+            return
+        pending = self._inflight.pop(request_id, None)
+        if pending is not None and not pending.done():
+            pending.set_result((header, payload))
+
 
 class _Connection:
     """Per-connection state threaded through the dispatch path."""
 
-    __slots__ = ("session",)
+    __slots__ = ("session", "shed")
 
     def __init__(self) -> None:
         self.session: Optional[_SessionCache] = None
+        #: link id -> client request ids shed with a retriable NACK whose
+        #: re-issue has not been admitted yet. While non-empty the link's
+        #: stream is *fenced* on this connection: every later data/reset
+        #: request is shed too, so a pipelining client can re-issue the
+        #: shed requests in id order without forking the codec history.
+        self.shed: Dict[str, set] = {}
+
+
+def _fence_admits(conn: _Connection, link: str, request_id: Any) -> bool:
+    """Whether the connection's order fence lets this request through.
+
+    Admitted: no fence on the link, or the in-order re-issue of the
+    lowest shed id (which steps out of the fence). Everything else must
+    be shed again — applying it would put it ahead of a request the
+    client sent earlier but the server never applied, forking a stateful
+    codec's history.
+    """
+    shed = conn.shed.get(link)
+    if not shed:
+        return True
+    if (
+        isinstance(request_id, int)
+        and request_id in shed
+        and request_id == min(shed)
+    ):
+        shed.discard(request_id)
+        if not shed:
+            del conn.shed[link]
+        return True
+    return False
+
+
+def _fence_record(conn: _Connection, link: str, request_id: Any) -> None:
+    """Mark ``request_id`` shed: the link is fenced until its re-issue."""
+    if isinstance(request_id, int):
+        conn.shed.setdefault(link, set()).add(request_id)
+
+
+def _fence_nack(link: str, request_id: Any) -> Dict[str, Any]:
+    """The retriable NACK answering a request the order fence shed."""
+    return error_header(
+        request_id,
+        OverloadedError(
+            f"link {link!r}: an earlier request of this stream was "
+            f"shed; re-issue the shed requests in id order"
+        ),
+        retriable=True,
+    )
 
 
 class LinkServer:
@@ -268,16 +369,33 @@ class LinkServer:
                 # Reconnect replay: the previous connection already
                 # executed this id; answer with the original response.
                 return loop.create_task(reply(cached[0], cached[1]))
+            pending = session.begin(request_id)
+            if pending is not None:
+                # Replay raced the original (still executing, e.g. the
+                # client's read timed out on a slow server): answer from
+                # the one execution instead of starting a second, which
+                # would advance the codec history twice.
+                return loop.create_task(
+                    self._answer_pending(pending, reply)
+                )
 
         async def finish(
             response: Dict[str, Any], body: bytes = b""
         ) -> None:
             if session is not None:
-                session.remember(request_id, response, body)
+                session.complete(request_id, response, body)
             await reply(response, body)
 
         async def fail(exc: Exception) -> None:
             await finish(error_header(request_id, exc))
+
+        if session is not None and op in ("encode", "decode", "reset"):
+            link_key = str(header.get("link"))
+            if not _fence_admits(conn, link_key, request_id):
+                _fence_record(conn, link_key, request_id)
+                return loop.create_task(
+                    finish(_fence_nack(link_key, request_id))
+                )
 
         if op == "hello":
             token = header.get("session")
@@ -306,6 +424,15 @@ class LinkServer:
             except (
                 ServeEngineError, ProtocolError, ValueError, TypeError
             ) as exc:
+                if isinstance(exc, OverloadedError) and session is not None:
+                    # Overload shed of a session (retrying) client: the
+                    # request was never applied, so NACK it retriably —
+                    # and fence the link so later pipelined requests are
+                    # shed too and the re-issues land in stream order.
+                    _fence_record(conn, str(link), request_id)
+                    return loop.create_task(finish(
+                        error_header(request_id, exc, retriable=True)
+                    ))
                 return loop.create_task(fail(exc))
 
             async def respond() -> None:
@@ -323,8 +450,16 @@ class LinkServer:
 
             return loop.create_task(respond())
         return loop.create_task(
-            self._control(op, header, request_id, finish)
+            self._control(op, header, request_id, finish, conn)
         )
+
+    @staticmethod
+    async def _answer_pending(
+        pending: "asyncio.Future[Tuple[Dict[str, Any], bytes]]", reply: Any
+    ) -> None:
+        """Answer a replayed request from its original's future."""
+        header, payload = await pending
+        await reply(header, payload)
 
     async def _control(
         self,
@@ -332,6 +467,7 @@ class LinkServer:
         header: Dict[str, Any],
         request_id: Any,
         reply: Any,
+        conn: Optional[_Connection] = None,
     ) -> None:
         try:
             result = await self._run_control(op, header)
@@ -345,7 +481,18 @@ class LinkServer:
                 exc, (ServeEngineError, LinkConfigError, ValueError, KeyError)
             ):
                 logger.exception("control op %r failed", op)
-            await reply(error_header(request_id, exc))
+            # Overload NACKs are retriable on the control path too (a
+            # fleet reset can be shed at the park limit): the request
+            # was never applied and the client may re-issue it.
+            retriable = isinstance(exc, OverloadedError)
+            if (
+                retriable
+                and conn is not None
+                and conn.session is not None
+                and header.get("link") is not None
+            ):
+                _fence_record(conn, str(header["link"]), request_id)
+            await reply(error_header(request_id, exc, retriable=retriable))
             return
         response = {"id": request_id, "ok": True}
         response.update(result)

@@ -377,7 +377,11 @@ class LinkSession:
                 self.uncoded_energy.load_state_dict(
                     snapshot.get("uncoded_energy")
                 )
-            except ValueError:
+            except (ValueError, TypeError):
+                # TypeError is belt-and-braces: the state_dict loaders
+                # validate to ValueError, but a malformed leaf slipping
+                # through as TypeError must also leave the session on
+                # its pre-call state, not half-restored.
                 self.chain.load_state_dict(previous["chain"])
                 self.coded_energy.load_state_dict(previous["coded_energy"])
                 self.uncoded_energy.load_state_dict(

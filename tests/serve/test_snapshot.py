@@ -97,6 +97,48 @@ class TestRestoreValidation:
             snapshot["applied_seq"] = bad
             self.bad_restore(session, snapshot)
 
+    def test_malformed_account_leaves_rejected_as_valueerror(self):
+        """Missing/None account leaves must raise ValueError, atomically.
+
+        ``np.asarray(None)`` raises TypeError; were that to escape, it
+        would bypass the restore rollback and half-apply the snapshot.
+        """
+        session = make_session()
+        session.encode(words_stream(n=80), seq=80)
+        for mutate in (
+            lambda acct: acct.__setitem__("gram", None),
+            lambda acct: acct.pop("gram"),
+            lambda acct: acct.__setitem__("ones", None),
+            lambda acct: acct.pop("ones"),
+            lambda acct: acct.__setitem__("last", object()),
+        ):
+            snapshot = session.snapshot()
+            mutate(snapshot["coded_energy"])
+            self.bad_restore(session, snapshot)
+
+    def test_bad_account_leaf_rolls_back_chain_and_accounts(self):
+        """A leaf failing *after* earlier parts loaded must roll back all.
+
+        The uncoded account loads last: corrupting it makes the chain
+        and coded account load an older cut first, and the rollback must
+        bring every one of them back.
+        """
+        words = words_stream(n=200)
+        session = make_session()
+        head = session.encode(words[:100], seq=100)
+        early = session.snapshot()
+        mid = session.encode(words[100:150], seq=150)
+        early["uncoded_energy"]["gram"] = None
+        self.bad_restore(session, early)
+
+        # The failed restore left the stream untouched: continuing is
+        # identical to an uninterrupted run.
+        tail = session.encode(words[150:])
+        reference = make_session()
+        assert np.array_equal(reference.encode(words),
+                              np.concatenate([head, mid, tail]))
+        assert session.energy_report() == reference.energy_report()
+
     def test_mismatched_chain_rejected_atomically(self):
         """A snapshot from a different codec chain must not half-apply."""
         other = LinkSession(LinkConfig.from_dict({

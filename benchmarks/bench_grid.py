@@ -1,0 +1,175 @@
+"""Grid overhead: claim throughput, end-to-end jobs/s, verify sweep.
+
+The distributed grid's value is scaling the figure sweeps out to many
+workers (see ``docs/grid.md``); its cost is the fixed per-job overhead —
+an atomic-rename claim with a lease write, an ``execute_job`` dispatch,
+one insert-or-verify transaction. The real sweep points dwarf that
+overhead by orders of magnitude (an annealing study runs seconds to
+minutes), so this benchmark times the machinery on the microsecond-cheap
+``selftest`` experiment, where the overhead *is* the wall time:
+
+* ``claim`` — pure queue cycles (claim + complete, no execution);
+* ``execute`` — a worker draining the grid end to end (queue + runner +
+  store);
+* ``verify`` — re-running every finished job through the store's
+  insert-or-verify path (the whole-grid determinism audit).
+
+Run:  PYTHONPATH=src python benchmarks/bench_grid.py [--quick]
+Writes ``benchmarks/BENCH_grid.json`` (gitignored). Exits non-zero when
+any correctness gate fails — every job done, every result recorded,
+every verification bit-identical, zero violations; timings are
+informational (CI machines are too noisy to gate on speed).
+"""
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.grid.queue import JobQueue, JobState
+from repro.grid.space import DesignSpace, expand
+from repro.grid.store import ResultStore
+from repro.grid.worker import GridWorker
+
+
+def _fresh_grid(root: Path, n_jobs: int) -> list:
+    shutil.rmtree(root, ignore_errors=True)
+    jobs = expand(DesignSpace(
+        experiment="selftest", base={"n_points": n_jobs},
+    ))
+    queue = JobQueue(root)
+    for job in jobs:
+        queue.submit(job)
+    return jobs
+
+
+def bench_claim(root: Path, n_jobs: int, repeats: int) -> dict:
+    """Pure queue overhead: claim + complete cycles, no execution."""
+    best = float("inf")
+    for _ in range(repeats):
+        _fresh_grid(root, n_jobs)
+        queue = JobQueue(root)
+        begin = time.perf_counter()
+        cycled = 0
+        while True:
+            claim = queue.claim("bench")
+            if claim is None:
+                break
+            queue.complete(claim.job.fingerprint, "bench")
+            cycled += 1
+        best = min(best, time.perf_counter() - begin)
+        assert cycled == n_jobs, f"cycled {cycled} of {n_jobs} jobs"
+    return {
+        "stage": "claim", "jobs": n_jobs, "best_s": best,
+        "jobs_per_s": n_jobs / best, "clean": True,
+    }
+
+
+def bench_execute(root: Path, n_jobs: int, repeats: int) -> dict:
+    """End-to-end worker throughput: queue + runner + result store."""
+    best = float("inf")
+    clean = True
+    for _ in range(repeats):
+        _fresh_grid(root, n_jobs)
+        worker = GridWorker(root, lease_timeout_s=60.0, poll_s=0.01)
+        begin = time.perf_counter()
+        stats = worker.run()
+        best = min(best, time.perf_counter() - begin)
+        store = ResultStore(root / "results.sqlite")
+        clean = clean and (
+            stats["completed"] == n_jobs
+            and store.count() == n_jobs
+            and store.violations() == []
+        )
+    return {
+        "stage": "execute", "jobs": n_jobs, "best_s": best,
+        "jobs_per_s": n_jobs / best, "clean": clean,
+    }
+
+
+def bench_verify(root: Path, n_jobs: int) -> dict:
+    """Whole-grid determinism audit: resubmit done jobs, re-run, verify.
+
+    Reuses the last ``execute`` grid on disk; every re-run must verify
+    bit-identical against its stored row (``verified`` counts, zero
+    violations, zero fresh inserts).
+    """
+    queue = JobQueue(root)
+    for job in queue.jobs(JobState.DONE):
+        queue.resubmit(job.fingerprint, from_states=[JobState.DONE])
+    worker = GridWorker(root, lease_timeout_s=60.0, poll_s=0.01)
+    begin = time.perf_counter()
+    stats = worker.run()
+    elapsed = time.perf_counter() - begin
+    store = ResultStore(root / "results.sqlite")
+    clean = (
+        stats["verified"] == n_jobs
+        and stats["completed"] == 0
+        and store.count() == n_jobs
+        and store.violations() == []
+    )
+    return {
+        "stage": "verify", "jobs": n_jobs, "best_s": elapsed,
+        "jobs_per_s": n_jobs / elapsed, "clean": clean,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer jobs and repetitions (CI smoke mode)",
+    )
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="grid size (default 64 quick / 256 full)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per stage (best is reported)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent / "BENCH_grid.json"),
+        help="report destination (default: the benchmarks/ directory)",
+    )
+    args = parser.parse_args(argv)
+    n_jobs = args.jobs or (64 if args.quick else 256)
+    repeats = args.repeats or (2 if args.quick else 5)
+
+    report = {
+        "benchmark": "grid",
+        "quick": args.quick,
+        "repeats": repeats,
+        "results": [],
+    }
+    workdir = Path(tempfile.mkdtemp(prefix="bench-grid-"))
+    try:
+        root = workdir / "grid"
+        rows = [
+            bench_claim(root, n_jobs, repeats),
+            bench_execute(root, n_jobs, repeats),
+        ]
+        rows.append(bench_verify(root, n_jobs))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    ok = True
+    for row in rows:
+        report["results"].append(row)
+        ok = ok and row["clean"]
+        print(
+            f"{row['stage']:8s} {row['best_s']:6.3f}s  "
+            f"{row['jobs_per_s']:8.1f} jobs/s  "
+            f"({row['jobs']} jobs, {'clean' if row['clean'] else 'DIRTY'})"
+        )
+
+    with open(args.output, "w") as sink:
+        json.dump(report, sink, indent=2)
+    print(f"wrote {args.output}")
+    if not ok:
+        print("GRID CORRECTNESS GATE FAILED")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,10 @@ and ``BENCH_lint.json`` into ``benchmarks/`` (gitignored; the frozen
 seed baselines live in ``benchmarks/baselines/``); this script distills
 them into one JSON line per revision so the repo carries its own
 performance history — `evals/s` for the annealer fast path, `words/s`
-for the online codec service, `files/s` for every analyzer pass —
-without anyone having to diff the full reports.
+for the online codec service, `files/s` for every analyzer pass, and
+(when ``BENCH_grid.json`` is present) `jobs/s` for the distributed
+grid's claim/execute/verify overhead — without anyone having to diff
+the full reports.
 
 Run (after the three benchmarks):
 
@@ -87,13 +89,31 @@ def lint_headline(report: dict) -> dict:
     return {"n_files": report["n_files"], "passes": passes}
 
 
+def grid_headline(report: dict) -> dict:
+    """Per-stage grid overhead (claim cycles, end-to-end jobs, verify)."""
+    stages = {
+        row["stage"]: {
+            "jobs_per_s": row["jobs_per_s"],
+            "clean": row["clean"],
+        }
+        for row in report["results"]
+    }
+    return {"jobs": report["results"][0]["jobs"], "stages": stages}
+
+
 def build_entry(bench_dir: Path) -> dict:
-    return {
+    entry = {
         "revision": git_revision(),
         "optimize": optimize_headline(_load(bench_dir / "BENCH_optimize.json")),
         "serve": serve_headline(_load(bench_dir / "BENCH_serve.json")),
         "lint": lint_headline(_load(bench_dir / "BENCH_lint.json")),
     }
+    # The grid report is optional: bench_grid.py runs in the grid CI job,
+    # not in every job that assembles a trajectory entry.
+    grid_report = bench_dir / "BENCH_grid.json"
+    if grid_report.exists():
+        entry["grid"] = grid_headline(_load(grid_report))
+    return entry
 
 
 def main(argv=None) -> int:

@@ -104,6 +104,12 @@ ANNOTATED_MODULES = (
     "repro.serve.protocol",
     "repro.serve.fleet",
     "repro.serve.worker",
+    "repro.grid.space",
+    "repro.grid.queue",
+    "repro.grid.store",
+    "repro.grid.runners",
+    "repro.grid.worker",
+    "repro.grid.query",
 )
 
 SpecDict = Mapping[str, str]

@@ -23,6 +23,13 @@ Subcommands
     the interprocedural shape/unit (``REP101``..), concurrency
     (``REP201``..) and exactness/determinism (``REP301``..) passes, and
     ``--format sarif|github`` emits CI-native output.
+``grid``
+    The distributed sweep grid (see ``docs/grid.md``): ``plan`` expands a
+    design-space JSON into a job queue, ``work`` serves it with one or
+    more worker processes, ``status`` shows the job lifecycle and any
+    determinism violations, ``query`` reassembles figure rows (or
+    pivots/percentiles) from the results database, ``resubmit`` requeues
+    failed or finished jobs.
 ``serve``
     Run the batched online encode/decode server for coded TSV links
     (see ``docs/serving.md``) until interrupted. Links are created by
@@ -40,6 +47,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -109,7 +117,6 @@ def _load_stream(path: str, n_lines: int) -> np.ndarray:
     values are 0/1. Pickled arrays and ``.npz`` archives are rejected
     explicitly (a bit stream never needs Python object serialization).
     """
-    import os
 
     def fail(message: str) -> "SystemExit":
         print(f"error: --stream {path}: {message}", file=sys.stderr)
@@ -257,6 +264,186 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(f"# written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _parse_json_arg(text: Optional[str], flag: str) -> dict:
+    import json
+
+    if not text:
+        return {}
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"error: {flag} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SystemExit(f"error: {flag} must be a JSON object")
+    return document
+
+
+def cmd_grid_plan(args: argparse.Namespace) -> int:
+    from repro.grid import JobQueue, expand, load_space
+
+    try:
+        space = load_space(args.space)
+        jobs = expand(space)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    queue = JobQueue(args.root, max_attempts=args.max_attempts)
+    submitted = sum(1 for job in jobs if queue.submit(job))
+    counts = queue.counts()
+    print(f"# space {space.name or args.space}: {len(jobs)} jobs, "
+          f"{submitted} newly submitted, {len(jobs) - submitted} known")
+    print("  " + "  ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    return 0
+
+
+def cmd_grid_work(args: argparse.Namespace) -> int:
+    if args.workers is not None:
+        import subprocess
+
+        if args.workers < 1:
+            raise SystemExit("error: --workers must be >= 1")
+        commands = [
+            [sys.executable, "-m", "repro.grid.worker", args.root,
+             "--index", str(index),
+             "--max-attempts", str(args.max_attempts),
+             "--lease-timeout", str(args.lease_timeout)]
+            + (["--max-jobs", str(args.max_jobs)] if args.max_jobs else [])
+            + (["--wait"] if args.wait else [])
+            for index in range(args.workers)
+        ]
+        processes = [
+            subprocess.Popen(command, env=os.environ.copy())
+            for command in commands
+        ]
+        status = 0
+        for process in processes:
+            status = max(status, abs(process.wait()))
+        return status
+
+    from repro.grid import GridWorker
+
+    worker = GridWorker(
+        args.root,
+        index=args.index,
+        max_attempts=args.max_attempts,
+        lease_timeout_s=args.lease_timeout,
+        wait=args.wait,
+        max_jobs=args.max_jobs,
+    )
+    stats = worker.run()
+    print("  ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0
+
+
+def cmd_grid_status(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.grid import JobQueue, JobState, ResultStore
+
+    queue = JobQueue(args.root)
+    counts = queue.counts()
+    print("# jobs: " + "  ".join(
+        f"{k}={v}" for k, v in sorted(counts.items())
+    ))
+    store_path = Path(args.root) / "results.sqlite"
+    if store_path.exists():
+        store = ResultStore(store_path)
+        violations = store.violations()
+        print(f"# results: {store.count()} recorded, "
+              f"{len(violations)} determinism violations")
+        for violation in violations:
+            print(f"  VIOLATION {violation['fingerprint'][:12]} "
+                  f"stored={violation['stored_sha256'][:12]} "
+                  f"rerun={violation['new_sha256'][:12]} "
+                  f"worker={violation['worker']}")
+    for job in queue.jobs(JobState.FAILED):
+        print(f"  failed {job.fingerprint[:12]} {job.experiment}/{job.point} "
+              f"attempts={job.attempts}: {job.error}")
+    if args.verbose:
+        for state in (JobState.PENDING, JobState.RUNNING):
+            for job in queue.jobs(state):
+                print(f"  {state} {job.fingerprint[:12]} "
+                      f"{job.experiment}/{job.point}")
+    return 1 if counts[JobState.FAILED] else 0
+
+
+def cmd_grid_query(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.grid import (
+        QueryError, ResultStore, figure_rows, percentiles, pivot, select,
+    )
+    from repro.reporting import rows_to_csv, rows_to_json
+
+    store_path = Path(args.root) / "results.sqlite"
+    if not store_path.exists():
+        raise SystemExit(f"error: no results database at {store_path}")
+    store = ResultStore(store_path)
+    where = _parse_json_arg(args.where, "--where")
+
+    try:
+        if args.percentiles:
+            records = select(store, args.experiment, where=where or None)
+            table = percentiles(records, args.percentiles, over=args.over)
+            text = json.dumps(table, indent=2)
+        elif args.pivot:
+            try:
+                index, columns, value = args.pivot.split(",")
+            except ValueError as exc:
+                raise SystemExit(
+                    "error: --pivot needs 'index,columns,value'"
+                ) from exc
+            records = select(store, args.experiment, where=where or None)
+            text = json.dumps(pivot(records, index, columns, value), indent=2)
+        else:
+            if not args.experiment:
+                raise SystemExit("error: grid query needs --experiment")
+            params = _parse_json_arg(args.params, "--params")
+            rows = figure_rows(
+                store, args.experiment, params,
+                missing="skip" if args.partial else "error",
+            )
+            if args.format == "csv":
+                text = rows_to_csv(rows)
+            elif args.format == "json":
+                text = rows_to_json(rows)
+            else:
+                from repro.experiments.common import format_table
+
+                text = format_table(
+                    f"grid {args.experiment} {params}", rows, unit="raw"
+                )
+    except QueryError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"# written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_grid_resubmit(args: argparse.Namespace) -> int:
+    from repro.grid import JobQueue, JobState
+
+    queue = JobQueue(args.root)
+    targets = list(args.fingerprints)
+    states = [JobState.FAILED] + ([JobState.DONE] if args.done else [])
+    if not targets:
+        targets = [
+            job.fingerprint
+            for state in states
+            for job in queue.jobs(state)
+        ]
+    requeued = sum(
+        1 for fingerprint in targets
+        if queue.resubmit(fingerprint, from_states=states)
+    )
+    print(f"# resubmitted {requeued}/{len(targets)} jobs")
     return 0
 
 
@@ -468,6 +655,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.set_defaults(func=cmd_lint)
 
+    p_grid = sub.add_parser(
+        "grid",
+        help="distributed sweep grid: plan, work, status, query, resubmit "
+             "(see docs/grid.md)",
+    )
+    grid_sub = p_grid.add_subparsers(dest="grid_command", required=True)
+
+    g_plan = grid_sub.add_parser(
+        "plan", help="expand a design-space JSON and submit its jobs"
+    )
+    g_plan.add_argument("space", help="design-space spec file (JSON)")
+    g_plan.add_argument("--root", required=True,
+                        help="grid directory (jobs + results.sqlite)")
+    g_plan.add_argument("--max-attempts", type=int, default=3)
+    g_plan.set_defaults(func=cmd_grid_plan)
+
+    g_work = grid_sub.add_parser(
+        "work", help="serve a grid until its queue drains"
+    )
+    g_work.add_argument("root", help="grid directory")
+    g_work.add_argument("--index", type=int, default=0,
+                        help="worker slot number (in-process mode)")
+    g_work.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="spawn N worker subprocesses instead")
+    g_work.add_argument("--max-attempts", type=int, default=3)
+    g_work.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="seconds of lease silence before reclaim")
+    g_work.add_argument("--max-jobs", type=int, default=None)
+    g_work.add_argument("--wait", action="store_true",
+                        help="keep polling after the queue drains")
+    g_work.set_defaults(func=cmd_grid_work)
+
+    g_status = grid_sub.add_parser(
+        "status", help="job lifecycle counts, failures, violations"
+    )
+    g_status.add_argument("root", help="grid directory")
+    g_status.add_argument("--verbose", action="store_true",
+                          help="also list pending/running jobs")
+    g_status.set_defaults(func=cmd_grid_status)
+
+    g_query = grid_sub.add_parser(
+        "query", help="reassemble figure rows / aggregates from the store"
+    )
+    g_query.add_argument("root", help="grid directory")
+    g_query.add_argument("--experiment", default=None,
+                         help="experiment name (fig4, fig6, noc, selftest)")
+    g_query.add_argument("--params", default=None, metavar="JSON",
+                         help="exact parameter set of the figure rows")
+    g_query.add_argument("--where", default=None, metavar="JSON",
+                         help="axis filter for --pivot/--percentiles")
+    g_query.add_argument("--pivot", default=None,
+                         metavar="INDEX,COLUMNS,VALUE",
+                         help="pivot one metric over two axes")
+    g_query.add_argument("--percentiles", default=None, metavar="METRIC",
+                         help="robustness percentiles of a metric")
+    g_query.add_argument("--over", default="seed",
+                         help="variation axis for --percentiles")
+    g_query.add_argument("--partial", action="store_true",
+                         help="tolerate missing points (skip instead of "
+                              "error)")
+    g_query.add_argument("--format", default="table",
+                         choices=("table", "csv", "json"))
+    g_query.add_argument("--output", default=None,
+                         help="write the output to a file")
+    g_query.set_defaults(func=cmd_grid_query)
+
+    g_resubmit = grid_sub.add_parser(
+        "resubmit", help="requeue failed (or finished) jobs"
+    )
+    g_resubmit.add_argument("root", help="grid directory")
+    g_resubmit.add_argument("fingerprints", nargs="*",
+                            help="specific jobs (default: every failed job)")
+    g_resubmit.add_argument("--done", action="store_true",
+                            help="also requeue finished jobs (force re-run)")
+    g_resubmit.set_defaults(func=cmd_grid_resubmit)
+
     p_serve = sub.add_parser(
         "serve",
         help="run the batched online encode/decode server for coded links",
@@ -535,6 +798,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # exits with the conventional interrupt status.
         print("interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # `repro-tsv ... | head` closes stdout early; exit quietly with
+        # the conventional SIGPIPE status instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

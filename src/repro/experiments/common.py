@@ -18,7 +18,7 @@ from repro.core.optimize import simulated_annealing
 from repro.core.power import PowerModel
 from repro.core.systematic import sawtooth_assignment, spiral_assignment_for_stats
 from repro.core.pipeline import random_baseline_power
-from repro.runtime.artifacts import CheckpointStore
+from repro.runtime.artifacts import CheckpointStore, jsonify
 from repro.runtime.faults import fault_point
 from repro.stats.switching import BitStatistics
 from repro.tsv.capmodel import LinearCapacitanceModel
@@ -75,6 +75,37 @@ class ExperimentRow:
     values: Dict[str, float] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class PointSpec:
+    """The identity of one sweep point, cheap to enumerate.
+
+    ``name`` is the stable machine identifier a grid job refers to,
+    ``label`` the human-facing row label of the figure, ``fingerprint``
+    the jsonified parameter payload that makes the point's cached values
+    trustworthy — it must cover everything the computation depends on
+    (scenario parameters, geometry, seed, fast/full mode), so editing a
+    sweep invalidates stale checkpoint rows instead of serving them.
+    """
+
+    name: str
+    label: str
+    fingerprint: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One runnable sweep point: its spec plus the value-producing thunk.
+
+    The thunk closes over input data generated *outside* it (by the
+    experiment's ``points()`` constructor, which replays the full datagen
+    RNG sequence from the seed), so executing any subset of points — one
+    per grid job, or all of them serially — yields bit-identical values.
+    """
+
+    spec: PointSpec
+    thunk: Callable[[], Dict[str, float]]
+
+
 def format_table(
     title: str, rows: Sequence[ExperimentRow], unit: str = "%"
 ) -> str:
@@ -116,8 +147,11 @@ class ExperimentSweep:
     * generates the point's input data *outside* :meth:`compute`, so a
       resumed run replays the exact datagen RNG sequence of an
       uninterrupted one (skipping cached points never desyncs later ones);
-    * wraps the expensive call in ``compute(label, thunk)`` — finished
-      points are served from the checkpoint instead of recomputed;
+    * wraps the expensive call in ``compute(label, thunk, fingerprint)``
+      — finished points are served from the checkpoint instead of
+      recomputed, but only when the stored per-point fingerprint matches
+      the caller's (so an edited sweep parameter invalidates the stale
+      row instead of silently serving it);
     * wraps the point loop in ``with sweep.interruptible():`` so a
       Ctrl-C (or the ``interrupt_at`` fault point, fired at every point
       boundary) ends the sweep cleanly with the rows finished so far and
@@ -135,7 +169,7 @@ class ExperimentSweep:
     ) -> None:
         self.kind = kind
         self.interrupted = False
-        self._points: Dict[str, Dict[str, float]] = {}
+        self._points: Dict[str, Dict[str, object]] = {}
         self._store: Optional[CheckpointStore] = None
         self._n_points = 0
         if checkpoint_dir is not None:
@@ -145,12 +179,13 @@ class ExperimentSweep:
             )
             checkpoint = self._store.load(self.kind)
             if checkpoint is not None:
-                self._points = {
-                    str(label): {str(k): float(v) for k, v in values.items()}
-                    for label, values in checkpoint.payload.get(
-                        "points", {}
-                    ).items()
-                }
+                points = checkpoint.payload.get("points", {})
+                if isinstance(points, dict):
+                    self._points = {
+                        str(label): entry
+                        for label, entry in points.items()
+                        if isinstance(entry, dict)
+                    }
                 if self._points:
                     logger.info(
                         "resuming %s sweep: %d points already done",
@@ -158,16 +193,35 @@ class ExperimentSweep:
                     )
 
     def compute(
-        self, label: str, thunk: Callable[[], Dict[str, float]]
+        self,
+        label: str,
+        thunk: Callable[[], Dict[str, float]],
+        fingerprint: Optional[Dict[str, object]] = None,
     ) -> Dict[str, float]:
-        """The values of sweep point ``label``, computed or restored."""
+        """The values of sweep point ``label``, computed or restored.
+
+        A cached entry is served only when its stored per-point
+        ``fingerprint`` equals the caller's — a label alone is not an
+        identity (the same row label with edited parameters must
+        recompute, not resurrect the stale values). Entries written by
+        older checkpoints (no fingerprint envelope) are recomputed.
+        """
         fault_point("interrupt_at", sweep=self.kind, point=label)
         self._n_points += 1
-        cached = self._points.get(label)
-        if cached is not None:
-            return dict(cached)
+        expected = jsonify(fingerprint) if fingerprint is not None else None
+        entry = self._points.get(label)
+        if isinstance(entry, dict) and set(entry) == {"fingerprint", "values"}:
+            values = entry.get("values")
+            if entry.get("fingerprint") == expected and isinstance(
+                values, dict
+            ):
+                return {str(k): float(v) for k, v in values.items()}
+            logger.warning(
+                "checkpointed point %r was computed with different "
+                "parameters; recomputing", label,
+            )
         values = {str(k): float(v) for k, v in thunk().items()}
-        self._points[label] = values
+        self._points[label] = {"fingerprint": expected, "values": values}
         self._save()
         return dict(values)
 
@@ -228,6 +282,7 @@ def study_assignments(
     seed: int = 2018,
     sa_steps: Optional[int] = None,
     cap_method: str = CAP_METHOD,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> AssignmentStudy:
     """Evaluate the requested assignment strategies on one stream.
 
@@ -236,6 +291,11 @@ def study_assignments(
     run on the compiled fast-path kernels, and the search and baseline use
     independent spawned RNG streams so the baselines depend only on the
     seed, not on which methods ran.
+
+    ``checkpoint_dir`` threads straight into the annealing search's
+    observational checkpointing (grid workers pass their per-job
+    directory), so an interrupted point resumes mid-search bit-identically
+    instead of restarting its chain.
     """
     if mos_aware:
         capacitance = cap_model_for(geometry, cap_method)
@@ -255,6 +315,7 @@ def study_assignments(
                 constraints=constraints,
                 rng=search_rng,
                 steps_per_temperature=sa_steps,
+                checkpoint_dir=checkpoint_dir,
             )
             if not result.completed:
                 # A best-so-far power would be silently cached as a sweep
@@ -290,6 +351,7 @@ def optimize_for_stream(
     seed: int = 2018,
     sa_steps: Optional[int] = None,
     cap_method: str = CAP_METHOD,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> SignedPermutation:
     """The Eq. 10 optimal assignment for one stream (MOS-aware)."""
     model = PowerModel(stats, cap_model_for(geometry, cap_method))
@@ -300,6 +362,7 @@ def optimize_for_stream(
         constraints=constraints,
         rng=np.random.default_rng(seed),
         steps_per_temperature=sa_steps,
+        checkpoint_dir=checkpoint_dir,
     )
     if not result.completed:
         raise KeyboardInterrupt("assignment search interrupted")

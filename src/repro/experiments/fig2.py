@@ -94,7 +94,15 @@ def run(
                         "spiral": study.reduction("spiral", "worst"),
                     }
 
-                values = sweep.compute(f"branch={branch:.2f}/{tag}", point)
+                values = sweep.compute(
+                    f"branch={branch:.2f}/{tag}", point,
+                    fingerprint={
+                        "experiment": "fig2", "branch": branch,
+                        "rows": geometry.rows, "cols": geometry.cols,
+                        "pitch": geometry.pitch, "radius": geometry.radius,
+                        "fast": fast, "n_samples": n_samples, "seed": seed,
+                    },
+                )
                 row.values[f"opt {tag}"] = values["opt"]
                 row.values[f"spiral {tag}"] = values["spiral"]
             rows.append(row)

@@ -94,7 +94,15 @@ def run(
 
                 rows.append(
                     ExperimentRow(
-                        label=label, values=sweep.compute(label, point)
+                        label=label,
+                        values=sweep.compute(
+                            label, point,
+                            fingerprint={
+                                "experiment": "fig3", "rho": rho,
+                                "sigma": sigma, "fast": fast,
+                                "n_samples": n_samples, "seed": seed,
+                            },
+                        ),
                     )
                 )
     return rows

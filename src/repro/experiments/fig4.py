@@ -29,6 +29,8 @@ from repro.datagen import images
 from repro.experiments.common import (
     ExperimentRow,
     ExperimentSweep,
+    GridPoint,
+    PointSpec,
     format_table,
     study_assignments,
 )
@@ -78,6 +80,106 @@ def geometries(scenario: Scenario) -> List[TSVArrayGeometry]:
     return result
 
 
+def _resolve(
+    fast: bool, n_frames: Optional[int], frame_size: Optional[int]
+) -> tuple:
+    if n_frames is None:
+        n_frames = 2 if fast else 4
+    if frame_size is None:
+        frame_size = 24 if fast else 64
+    return n_frames, frame_size
+
+
+def _slug(label: str) -> str:
+    """Machine-safe point name derived from a row label."""
+    out = "".join(c if c.isalnum() else "-" for c in label.lower())
+    while "--" in out:
+        out = out.replace("--", "-")
+    return out.strip("-")
+
+
+def point_specs(
+    fast: bool = False,
+    n_frames: Optional[int] = None,
+    frame_size: Optional[int] = None,
+    seed: int = 2018,
+) -> List[PointSpec]:
+    """The figure's sweep points (names, labels, fingerprints); no datagen."""
+    n_frames, frame_size = _resolve(fast, n_frames, frame_size)
+    specs: List[PointSpec] = []
+    for scenario in scenarios():
+        for geometry in geometries(scenario):
+            label = f"{scenario.label} r={geometry.radius * 1e6:.0f}um"
+            specs.append(PointSpec(
+                name=_slug(label),
+                label=label,
+                fingerprint={
+                    "experiment": "fig4",
+                    "scenario": scenario.label,
+                    "rows": geometry.rows, "cols": geometry.cols,
+                    "pitch": geometry.pitch, "radius": geometry.radius,
+                    "fast": fast, "n_frames": n_frames,
+                    "frame_size": frame_size, "seed": seed,
+                },
+            ))
+    return specs
+
+
+def points(
+    fast: bool = False,
+    n_frames: Optional[int] = None,
+    frame_size: Optional[int] = None,
+    seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
+) -> List[GridPoint]:
+    """The figure's runnable sweep points.
+
+    Datagen for *all* points runs here, up front, replaying the full RNG
+    sequence from the seed — so any subset of the returned thunks
+    (one per grid job, or all of them serially) computes bit-identical
+    values. ``checkpoint_dir`` threads into the annealing searches'
+    observational checkpointing (grid workers pass their per-job
+    directory); it never changes the values.
+    """
+    n_frames, frame_size = _resolve(fast, n_frames, frame_size)
+    rng = np.random.default_rng(seed)
+    specs = iter(point_specs(
+        fast=fast, n_frames=n_frames, frame_size=frame_size, seed=seed
+    ))
+    result: List[GridPoint] = []
+    for scenario in scenarios():
+        frames = [
+            (images.synthetic_rgb_scene if scenario.rgb
+             else images.synthetic_scene)(frame_size, frame_size, rng=rng)
+            for _ in range(n_frames)
+        ]
+        bits = scenario.stream(frames)
+        stats = BitStatistics.from_stream(bits)
+        for geometry in geometries(scenario):
+            spec = next(specs)
+
+            def thunk(stats=stats, geometry=geometry, scenario=scenario):
+                study = study_assignments(
+                    stats,
+                    geometry,
+                    methods=("optimal", "spiral"),
+                    mos_aware=True,
+                    with_inversions=True,
+                    constraints=scenario.constraints,
+                    baseline_samples=50 if fast else 200,
+                    seed=seed,
+                    sa_steps=6 * geometry.n_tsvs if fast else None,
+                    checkpoint_dir=checkpoint_dir,
+                )
+                return {
+                    "optimal": study.reduction("optimal"),
+                    "spiral": study.reduction("spiral"),
+                }
+
+            result.append(GridPoint(spec=spec, thunk=thunk))
+    return result
+
+
 def run(
     fast: bool = False,
     n_frames: Optional[int] = None,
@@ -86,11 +188,7 @@ def run(
     checkpoint_dir: Optional[str] = None,
 ) -> List[ExperimentRow]:
     """Reduction vs the mean random assignment per scenario and geometry."""
-    if n_frames is None:
-        n_frames = 2 if fast else 4
-    if frame_size is None:
-        frame_size = 24 if fast else 64
-    rng = np.random.default_rng(seed)
+    n_frames, frame_size = _resolve(fast, n_frames, frame_size)
     sweep = ExperimentSweep(
         "fig4", checkpoint_dir,
         fingerprint={
@@ -98,45 +196,20 @@ def run(
             "frame_size": frame_size, "seed": seed,
         },
     )
-
     rows: List[ExperimentRow] = []
     with sweep.interruptible():
-        for scenario in scenarios():
-            # Datagen runs unconditionally (outside the cached thunks) so
-            # a resumed sweep replays the same RNG sequence.
-            frames = [
-                (images.synthetic_rgb_scene if scenario.rgb
-                 else images.synthetic_scene)(frame_size, frame_size, rng=rng)
-                for _ in range(n_frames)
-            ]
-            bits = scenario.stream(frames)
-            stats = BitStatistics.from_stream(bits)
-            for geometry in geometries(scenario):
-                tag = f"r={geometry.radius * 1e6:.0f}um"
-                label = f"{scenario.label} {tag}"
-
-                def point(stats=stats, geometry=geometry, scenario=scenario):
-                    study = study_assignments(
-                        stats,
-                        geometry,
-                        methods=("optimal", "spiral"),
-                        mos_aware=True,
-                        with_inversions=True,
-                        constraints=scenario.constraints,
-                        baseline_samples=50 if fast else 200,
-                        seed=seed,
-                        sa_steps=6 * geometry.n_tsvs if fast else None,
-                    )
-                    return {
-                        "optimal": study.reduction("optimal"),
-                        "spiral": study.reduction("spiral"),
-                    }
-
-                rows.append(
-                    ExperimentRow(
-                        label=label, values=sweep.compute(label, point)
-                    )
+        for point in points(
+            fast=fast, n_frames=n_frames, frame_size=frame_size, seed=seed
+        ):
+            rows.append(
+                ExperimentRow(
+                    label=point.spec.label,
+                    values=sweep.compute(
+                        point.spec.label, point.thunk,
+                        fingerprint=point.spec.fingerprint,
+                    ),
                 )
+            )
     return rows
 
 

@@ -92,7 +92,17 @@ def run(
                 }
 
             rows.append(
-                ExperimentRow(label=label, values=sweep.compute(label, point))
+                ExperimentRow(
+                    label=label,
+                    values=sweep.compute(
+                        label, point,
+                        fingerprint={
+                            "experiment": "fig5", "stream": label,
+                            "fast": fast, "n_samples": n_samples,
+                            "seed": seed,
+                        },
+                    ),
+                )
             )
     return rows
 

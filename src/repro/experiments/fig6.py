@@ -25,6 +25,7 @@ reduction grows further (paper: up to 48 %) — reproduced as the last rows.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -44,6 +45,8 @@ from repro.datagen.util import (
 from repro.experiments.common import (
     ExperimentRow,
     ExperimentSweep,
+    GridPoint,
+    PointSpec,
     circuit_power_mw,
     format_table,
     optimize_for_stream,
@@ -102,11 +105,13 @@ def _study(
     constraints: AssignmentConstraints = AssignmentConstraints(),
     seed: int = 2018,
     sa_steps: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Dict[str, float]:
     """Power [mW] of the random-mean baseline and the optimal assignment."""
     stats = BitStatistics.from_stream(bits)
     optimal = optimize_for_stream(
-        stats, geometry, constraints=constraints, seed=seed, sa_steps=sa_steps
+        stats, geometry, constraints=constraints, seed=seed,
+        sa_steps=sa_steps, checkpoint_dir=checkpoint_dir,
     )
     return {
         "plain": random_mean_power_mw(bits, geometry, payload_bits),
@@ -114,6 +119,167 @@ def _study(
             bits, geometry, assignment=optimal, payload_bits=payload_bits
         ),
     }
+
+
+#: Point name -> figure row label (order matters: it is the row order).
+POINT_LABELS = (
+    ("sensor-seq", "Sensor Seq. (16b, 4x4)"),
+    ("sensor-mux", "Sensor Mux. (16b, 4x4)"),
+    ("rgb-mux", "RGB Mux.+1R (8b, 3x3)"),
+    ("coded-7b", "Coded 7b+flag (3x3)"),
+    ("footnote", "RGB r=2um d=8um (foot.)"),
+)
+
+
+def _subdir(checkpoint_dir: Optional[str], name: str) -> Optional[str]:
+    """A per-search annealing checkpoint dir (multi-anneal thunks)."""
+    if checkpoint_dir is None:
+        return None
+    return os.path.join(checkpoint_dir, name)
+
+
+def point_specs(
+    fast: bool = False,
+    n_block: Optional[int] = None,
+    seed: int = 2018,
+) -> List[PointSpec]:
+    """The figure's sweep points (names, labels, fingerprints); no datagen."""
+    if n_block is None:
+        n_block = 600 if fast else 3900
+    sa_steps = None if not fast else 100
+    return [
+        PointSpec(
+            name=name,
+            label=label,
+            fingerprint={
+                "experiment": "fig6", "point": name, "fast": fast,
+                "n_block": n_block, "seed": seed, "sa_steps": sa_steps,
+            },
+        )
+        for name, label in POINT_LABELS
+    ]
+
+
+def points(
+    fast: bool = False,
+    n_block: Optional[int] = None,
+    seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
+) -> List[GridPoint]:
+    """The figure's runnable sweep points.
+
+    All datagen runs here, up front, from one seeded generator — the
+    full RNG sequence replays identically whether one thunk runs (a grid
+    job) or all of them (the serial figure), so the values are
+    bit-identical by construction. ``checkpoint_dir`` threads into the
+    annealing searches' observational checkpointing only.
+    """
+    if n_block is None:
+        n_block = 600 if fast else 3900
+    sa_steps = None if not fast else 100
+    rng = np.random.default_rng(seed)
+    specs = {
+        spec.name: spec
+        for spec in point_specs(fast=fast, n_block=n_block, seed=seed)
+    }
+
+    a44 = TSVArrayGeometry(rows=4, cols=4, pitch=4e-6, radius=1e-6)
+    a33 = TSVArrayGeometry(rows=3, cols=3, pitch=4e-6, radius=1e-6)
+    a33_large = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
+
+    # --- datagen (strictly in the historical order; consumes `rng`) ------------
+    seq_bits = sensor_seq_bits(n_block, rng)
+
+    mux_words = sensor_mux_words(n_block, rng)
+    unsigned = np.where(mux_words < 0, mux_words + (1 << 16), mux_words)
+    mux_bits = words_to_bits(unsigned, 16)
+    gray_bits = words_to_bits(gray_encode_words(unsigned, 16), 16)
+    # XNOR Gray (negated code words) + optimal assignment of the coded bits.
+    gray_neg_bits = words_to_bits(
+        gray_encode_words(unsigned, 16, negated=True), 16
+    )
+
+    frames = images.default_frames(
+        3, 32 if fast else 64, 32 if fast else 64, rng=rng
+    )
+    cells = images._bayer_words(frames)
+    rgb_words = cells.reshape(-1)
+    rgb_bits = append_stable_lines(words_to_bits(rgb_words, 8), [0])
+    corr_words = correlate_words(rgb_words, 8, n_channels=4)
+    corr_bits = append_stable_lines(words_to_bits(corr_words, 8), [0])
+    # XNOR correlator + inverted redundant line + optimal assignment.
+    corr_neg_words = correlate_words(rgb_words, 8, n_channels=4, negated=True)
+    corr_neg_bits = append_stable_lines(words_to_bits(corr_neg_words, 8), [0])
+
+    data = uniform_random_words(9 * n_block, 7, rng)
+    coded, flags = coupling_invert_encode(data, 7)
+    link_bits = coded_bit_stream(coded, flags, 7)
+    packet_flag = (rng.random(len(link_bits)) < 1e-4).astype(np.uint8)
+    coded_link = np.concatenate([link_bits, packet_flag[:, None]], axis=1)
+
+    # --- the thunks ------------------------------------------------------------
+    def sensor_seq_point() -> Dict[str, float]:
+        return _study(seq_bits, a44, payload_bits=16, seed=seed,
+                      sa_steps=sa_steps, checkpoint_dir=checkpoint_dir)
+
+    def sensor_mux_point() -> Dict[str, float]:
+        values = _study(mux_bits, a44, payload_bits=16, seed=seed,
+                        sa_steps=sa_steps, checkpoint_dir=checkpoint_dir)
+        values["gray"] = random_mean_power_mw(gray_bits, a44, payload_bits=16)
+        gray_opt = optimize_for_stream(
+            BitStatistics.from_stream(gray_neg_bits), a44, seed=seed,
+            sa_steps=sa_steps,
+            checkpoint_dir=_subdir(checkpoint_dir, "gray-opt"),
+        )
+        values["gray+opt"] = circuit_power_mw(
+            gray_neg_bits, a44, assignment=gray_opt, payload_bits=16
+        )
+        return values
+
+    def rgb_mux_point() -> Dict[str, float]:
+        values = _study(rgb_bits, a33, payload_bits=8, seed=seed,
+                        sa_steps=sa_steps, checkpoint_dir=checkpoint_dir)
+        values["corr"] = random_mean_power_mw(corr_bits, a33, payload_bits=8)
+        corr_opt = optimize_for_stream(
+            BitStatistics.from_stream(corr_neg_bits), a33, seed=seed,
+            sa_steps=sa_steps,
+            checkpoint_dir=_subdir(checkpoint_dir, "corr-opt"),
+        )
+        values["corr+opt"] = circuit_power_mw(
+            corr_neg_bits, a33, assignment=corr_opt, payload_bits=8
+        )
+        return values
+
+    def coded_point() -> Dict[str, float]:
+        return _study(coded_link, a33, payload_bits=7, seed=seed,
+                      sa_steps=sa_steps, checkpoint_dir=checkpoint_dir)
+
+    def footnote_point() -> Dict[str, float]:
+        values = {
+            "plain": random_mean_power_mw(rgb_bits, a33_large, payload_bits=8),
+            "corr": random_mean_power_mw(corr_bits, a33_large, payload_bits=8),
+        }
+        corr_opt_large = optimize_for_stream(
+            BitStatistics.from_stream(corr_neg_bits), a33_large,
+            seed=seed, sa_steps=sa_steps, checkpoint_dir=checkpoint_dir,
+        )
+        values["corr+opt"] = circuit_power_mw(
+            corr_neg_bits, a33_large, assignment=corr_opt_large,
+            payload_bits=8,
+        )
+        return values
+
+    thunks = {
+        "sensor-seq": sensor_seq_point,
+        "sensor-mux": sensor_mux_point,
+        "rgb-mux": rgb_mux_point,
+        "coded-7b": coded_point,
+        "footnote": footnote_point,
+    }
+    return [
+        GridPoint(spec=specs[name], thunk=thunks[name])
+        for name, _ in POINT_LABELS
+    ]
 
 
 def run(
@@ -125,151 +291,22 @@ def run(
     """Power [mW, scaled to 32 b/cycle] per stream and coding variant."""
     if n_block is None:
         n_block = 600 if fast else 3900
-    sa_steps = None if not fast else 100
-    rng = np.random.default_rng(seed)
     sweep = ExperimentSweep(
         "fig6", checkpoint_dir,
         fingerprint={"fast": fast, "n_block": n_block, "seed": seed},
     )
     rows: List[ExperimentRow] = []
-
-    a44 = TSVArrayGeometry(rows=4, cols=4, pitch=4e-6, radius=1e-6)
-    a33 = TSVArrayGeometry(rows=3, cols=3, pitch=4e-6, radius=1e-6)
-
-    # All datagen below runs unconditionally (outside the cached sweep
-    # points) so a resumed sweep replays the same RNG sequence; only the
-    # expensive seed-determined studies live inside the thunks.
     with sweep.interruptible():
-        # --- Sensor Seq. -----------------------------------------------------
-        seq_bits = sensor_seq_bits(n_block, rng)
-        rows.append(
-            ExperimentRow(
-                "Sensor Seq. (16b, 4x4)",
-                sweep.compute(
-                    "sensor-seq",
-                    lambda: _study(seq_bits, a44, payload_bits=16, seed=seed,
-                                   sa_steps=sa_steps),
-                ),
+        for point in points(fast=fast, n_block=n_block, seed=seed):
+            rows.append(
+                ExperimentRow(
+                    point.spec.label,
+                    sweep.compute(
+                        point.spec.name, point.thunk,
+                        fingerprint=point.spec.fingerprint,
+                    ),
+                )
             )
-        )
-
-        # --- Sensor Mux., plain and Gray --------------------------------------
-        mux_words = sensor_mux_words(n_block, rng)
-        unsigned = np.where(mux_words < 0, mux_words + (1 << 16), mux_words)
-        mux_bits = words_to_bits(unsigned, 16)
-        gray_bits = words_to_bits(gray_encode_words(unsigned, 16), 16)
-        # XNOR Gray (negated code words) + optimal assignment of the
-        # coded bits.
-        gray_neg_bits = words_to_bits(
-            gray_encode_words(unsigned, 16, negated=True), 16
-        )
-
-        def sensor_mux_point() -> Dict[str, float]:
-            values = _study(mux_bits, a44, payload_bits=16, seed=seed,
-                            sa_steps=sa_steps)
-            values["gray"] = random_mean_power_mw(
-                gray_bits, a44, payload_bits=16
-            )
-            gray_opt = optimize_for_stream(
-                BitStatistics.from_stream(gray_neg_bits), a44, seed=seed,
-                sa_steps=sa_steps,
-            )
-            values["gray+opt"] = circuit_power_mw(
-                gray_neg_bits, a44, assignment=gray_opt, payload_bits=16
-            )
-            return values
-
-        rows.append(
-            ExperimentRow(
-                "Sensor Mux. (16b, 4x4)",
-                sweep.compute("sensor-mux", sensor_mux_point),
-            )
-        )
-
-        # --- RGB Mux. + redundant line, plain and correlated -------------------
-        frames = images.default_frames(
-            3, 32 if fast else 64, 32 if fast else 64, rng=rng
-        )
-        cells = images._bayer_words(frames)
-        rgb_words = cells.reshape(-1)
-        rgb_bits = append_stable_lines(words_to_bits(rgb_words, 8), [0])
-        corr_words = correlate_words(rgb_words, 8, n_channels=4)
-        corr_bits = append_stable_lines(words_to_bits(corr_words, 8), [0])
-        # XNOR correlator + inverted redundant line + optimal assignment.
-        corr_neg_words = correlate_words(
-            rgb_words, 8, n_channels=4, negated=True
-        )
-        corr_neg_bits = append_stable_lines(
-            words_to_bits(corr_neg_words, 8), [0]
-        )
-
-        def rgb_mux_point() -> Dict[str, float]:
-            values = _study(rgb_bits, a33, payload_bits=8, seed=seed,
-                            sa_steps=sa_steps)
-            values["corr"] = random_mean_power_mw(
-                corr_bits, a33, payload_bits=8
-            )
-            corr_opt = optimize_for_stream(
-                BitStatistics.from_stream(corr_neg_bits), a33, seed=seed,
-                sa_steps=sa_steps,
-            )
-            values["corr+opt"] = circuit_power_mw(
-                corr_neg_bits, a33, assignment=corr_opt, payload_bits=8
-            )
-            return values
-
-        rows.append(
-            ExperimentRow(
-                "RGB Mux.+1R (8b, 3x3)",
-                sweep.compute("rgb-mux", rgb_mux_point),
-            )
-        )
-
-        # --- Coupling-invert coded random stream -------------------------------
-        data = uniform_random_words(9 * n_block, 7, rng)
-        coded, flags = coupling_invert_encode(data, 7)
-        link_bits = coded_bit_stream(coded, flags, 7)
-        packet_flag = (rng.random(len(link_bits)) < 1e-4).astype(np.uint8)
-        coded_link = np.concatenate([link_bits, packet_flag[:, None]], axis=1)
-        rows.append(
-            ExperimentRow(
-                "Coded 7b+flag (3x3)",
-                sweep.compute(
-                    "coded-7b",
-                    lambda: _study(coded_link, a33, payload_bits=7, seed=seed,
-                                   sa_steps=sa_steps),
-                ),
-            )
-        )
-
-        # --- Sec. 7 footnote: larger geometry ----------------------------------
-        a33_large = TSVArrayGeometry(rows=3, cols=3, pitch=8e-6, radius=2e-6)
-
-        def footnote_point() -> Dict[str, float]:
-            values = {
-                "plain": random_mean_power_mw(
-                    rgb_bits, a33_large, payload_bits=8
-                ),
-                "corr": random_mean_power_mw(
-                    corr_bits, a33_large, payload_bits=8
-                ),
-            }
-            corr_opt_large = optimize_for_stream(
-                BitStatistics.from_stream(corr_neg_bits), a33_large,
-                seed=seed, sa_steps=sa_steps,
-            )
-            values["corr+opt"] = circuit_power_mw(
-                corr_neg_bits, a33_large, assignment=corr_opt_large,
-                payload_bits=8,
-            )
-            return values
-
-        rows.append(
-            ExperimentRow(
-                "RGB r=2um d=8um (foot.)",
-                sweep.compute("footnote", footnote_point),
-            )
-        )
     return rows
 
 

@@ -28,6 +28,8 @@ from typing import List, Optional
 from repro.experiments.common import (
     ExperimentRow,
     ExperimentSweep,
+    GridPoint,
+    PointSpec,
     format_table,
 )
 from repro.noc.power import optimize_vertical_links
@@ -39,29 +41,61 @@ from repro.rng import ensure_rng
 FLIT_WIDTH = 9  # 8 payload bits + parity, a 3x3 TSV array per link
 
 
-def run(
+#: Point name -> workload label (order matters: it is the row order).
+POINT_LABELS = (
+    ("uniform", "uniform"),
+    ("hotspot", "hotspot (1,1,0)"),
+    ("transpose", "transpose"),
+)
+
+
+def point_specs(
+    fast: bool = False,
+    n_packets: Optional[int] = None,
+    seed: int = 2018,
+) -> List[PointSpec]:
+    """The case study's sweep points (one per workload); no datagen."""
+    if n_packets is None:
+        n_packets = 80 if fast else 400
+    return [
+        PointSpec(
+            name=name,
+            label=label,
+            fingerprint={
+                "experiment": "noc", "point": name, "fast": fast,
+                "n_packets": n_packets, "seed": seed,
+            },
+        )
+        for name, label in POINT_LABELS
+    ]
+
+
+def points(
     fast: bool = False,
     n_packets: Optional[int] = None,
     seed: int = 2018,
     checkpoint_dir: Optional[str] = None,
-) -> List[ExperimentRow]:
+) -> List[GridPoint]:
+    """The case study's runnable sweep points (datagen up front).
+
+    ``checkpoint_dir`` is accepted for interface uniformity with the
+    figure experiments but unused: :func:`optimize_vertical_links` has no
+    mid-search checkpointing (each per-link search is short).
+    """
+    del checkpoint_dir  # no annealing-level checkpointing on this path
     topology = MeshTopology(3, 3, 2)
     if n_packets is None:
         n_packets = 80 if fast else 400
     flits_per_packet = 8 if fast else 16
     sa_steps = 40 if fast else None
     rng = ensure_rng(seed=seed)
-    sweep = ExperimentSweep(
-        "noc", checkpoint_dir,
-        fingerprint={"fast": fast, "n_packets": n_packets, "seed": seed},
-    )
 
     workloads = {
         "uniform": uniform_traffic(
             topology, n_packets, flit_width=FLIT_WIDTH,
             flits_per_packet=flits_per_packet, rng=rng,
         ),
-        "hotspot (1,1,0)": hotspot_traffic(
+        "hotspot": hotspot_traffic(
             topology, n_packets, hotspot=(1, 1, 0), flit_width=FLIT_WIDTH,
             flits_per_packet=flits_per_packet, rng=rng,
         ),
@@ -73,28 +107,52 @@ def run(
         ),
     }
 
+    result: List[GridPoint] = []
+    for spec in point_specs(fast=fast, n_packets=n_packets, seed=seed):
+
+        def thunk(trace=workloads[spec.name]):
+            traces = simulate_link_traces(topology, trace)
+            report = optimize_vertical_links(
+                traces,
+                sa_steps=sa_steps,
+                baseline_samples=15 if fast else 30,
+                rng=ensure_rng(seed=seed),
+            )
+            return {
+                "assigned %": 100.0 * report.reduction("assigned"),
+                "coded %": 100.0 * report.reduction("coded"),
+                "both %": 100.0 * report.reduction("coded_assigned"),
+                "TSV links": float(report.n_links),
+                "kflits": report.n_flits / 1000.0,
+            }
+
+        result.append(GridPoint(spec=spec, thunk=thunk))
+    return result
+
+
+def run(
+    fast: bool = False,
+    n_packets: Optional[int] = None,
+    seed: int = 2018,
+    checkpoint_dir: Optional[str] = None,
+) -> List[ExperimentRow]:
+    if n_packets is None:
+        n_packets = 80 if fast else 400
+    sweep = ExperimentSweep(
+        "noc", checkpoint_dir,
+        fingerprint={"fast": fast, "n_packets": n_packets, "seed": seed},
+    )
     rows: List[ExperimentRow] = []
     with sweep.interruptible():
-        for label, trace in workloads.items():
-
-            def point(trace=trace):
-                traces = simulate_link_traces(topology, trace)
-                report = optimize_vertical_links(
-                    traces,
-                    sa_steps=sa_steps,
-                    baseline_samples=15 if fast else 30,
-                    rng=ensure_rng(seed=seed),
-                )
-                return {
-                    "assigned %": 100.0 * report.reduction("assigned"),
-                    "coded %": 100.0 * report.reduction("coded"),
-                    "both %": 100.0 * report.reduction("coded_assigned"),
-                    "TSV links": float(report.n_links),
-                    "kflits": report.n_flits / 1000.0,
-                }
-
+        for point in points(fast=fast, n_packets=n_packets, seed=seed):
             rows.append(
-                ExperimentRow(label, sweep.compute(label, point))
+                ExperimentRow(
+                    point.spec.label,
+                    sweep.compute(
+                        point.spec.label, point.thunk,
+                        fingerprint=point.spec.fingerprint,
+                    ),
+                )
             )
     return rows
 

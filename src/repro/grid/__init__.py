@@ -1,0 +1,60 @@
+"""Distributed sweep grid: design spaces, a file-backed job queue, workers
+and a queryable, provenance-carrying results database.
+
+The paper's headline results are point sweeps over geometry x data
+statistics x coder x assignment method. :mod:`repro.grid` turns those
+sweeps into *grids*: a declarative :class:`~repro.grid.space.DesignSpace`
+expands deterministically into jobs keyed by a content-addressed
+fingerprint, arbitrarily many workers claim and run them through a
+file-backed :class:`~repro.grid.queue.JobQueue`, and finished points land
+in a SQLite :class:`~repro.grid.store.ResultStore` with insert-or-verify
+semantics — a re-run of an existing fingerprint must reproduce the stored
+values bit for bit or the store flags a determinism violation.
+
+See ``docs/grid.md`` for the architecture and a CLI walkthrough.
+"""
+
+from repro.grid.query import QueryError, figure_rows, percentiles, pivot, select
+from repro.grid.queue import JobQueue, JobState, QueueError, QueuedJob
+from repro.grid.runners import EXPERIMENTS, UnknownPointError, execute_job
+from repro.grid.space import (
+    DesignSpace, Job, SpaceError, expand, job_fingerprint, load_space,
+)
+from repro.grid.store import DeterminismViolation, ResultRecord, ResultStore
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.grid.worker` does not import the worker
+    # module twice (runpy warns when the -m target is already in
+    # sys.modules from the package import).
+    if name == "GridWorker":
+        from repro.grid.worker import GridWorker
+
+        return GridWorker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DesignSpace",
+    "DeterminismViolation",
+    "EXPERIMENTS",
+    "GridWorker",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "QueryError",
+    "QueueError",
+    "QueuedJob",
+    "ResultRecord",
+    "ResultStore",
+    "SpaceError",
+    "UnknownPointError",
+    "execute_job",
+    "expand",
+    "figure_rows",
+    "job_fingerprint",
+    "load_space",
+    "percentiles",
+    "pivot",
+    "select",
+]

@@ -37,6 +37,7 @@ import hashlib
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
@@ -63,10 +64,18 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     The parent directory is created if needed. A crash mid-write leaves
     either the previous file or a stray ``*.tmp`` sibling — never a
     half-written target.
+
+    The temp name carries the writer's pid and thread id: concurrent
+    writers of one target (two grid workers racing the same at-least-once
+    job, two processes refreshing one queue sidecar) must not replace
+    each other's temp file mid-flight — with private temp files, the
+    final rename serializes and last-writer-wins on identical content.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+    )
     with open(tmp, "wb") as handle:
         handle.write(data)
         handle.flush()

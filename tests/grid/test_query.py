@@ -1,0 +1,113 @@
+"""Store queries: selection, figure reassembly, pivots, percentiles."""
+
+import pytest
+
+from repro.grid.query import QueryError, figure_rows, percentiles, pivot, select
+from repro.grid.runners import execute_job
+from repro.grid.space import DesignSpace, expand
+from repro.grid.store import ResultStore
+
+
+def _filled_store(tmp_path, seeds=(1, 2, 3), n_points=2):
+    """Run a small selftest grid serially straight into a store."""
+    store = ResultStore(tmp_path / "results.sqlite")
+    jobs = expand(DesignSpace(
+        experiment="selftest",
+        base={"n_points": n_points},
+        axes={"seed": list(seeds)},
+    ))
+    for job in jobs:
+        label, values = execute_job(job.spec())
+        store.record(job.fingerprint, job.spec(), label, values)
+    return store
+
+
+class TestSelect:
+    def test_axis_filter(self, tmp_path):
+        store = _filled_store(tmp_path)
+        records = select(store, "selftest", where={"seed": 2})
+        assert len(records) == 2
+        assert all(r.params["seed"] == 2 for r in records)
+
+    def test_list_filter_and_point(self, tmp_path):
+        store = _filled_store(tmp_path)
+        records = select(store, where={"seed": [1, 3], "point": "p0"})
+        assert sorted(r.params["seed"] for r in records) == [1, 3]
+        assert all(r.point == "p0" for r in records)
+
+    def test_no_filter_returns_all(self, tmp_path):
+        store = _filled_store(tmp_path)
+        assert len(select(store)) == 6
+
+
+class TestFigureRows:
+    def test_rows_in_point_order(self, tmp_path):
+        store = _filled_store(tmp_path)
+        rows = figure_rows(store, "selftest", {"n_points": 2, "seed": 1})
+        assert [row.label for row in rows] == ["selftest p0", "selftest p1"]
+        assert [row.values["index"] for row in rows] == [0.0, 1.0]
+
+    def test_missing_point_raises(self, tmp_path):
+        store = _filled_store(tmp_path)
+        with pytest.raises(QueryError, match="no stored results"):
+            figure_rows(store, "selftest", {"n_points": 2, "seed": 99})
+
+    def test_missing_skip(self, tmp_path):
+        store = _filled_store(tmp_path)
+        rows = figure_rows(
+            store, "selftest", {"n_points": 2, "seed": 99}, missing="skip"
+        )
+        assert rows == []
+
+    def test_bad_missing_mode(self, tmp_path):
+        store = _filled_store(tmp_path)
+        with pytest.raises(QueryError, match="missing must be"):
+            figure_rows(store, "selftest", {}, missing="ignore")
+
+
+class TestPivot:
+    def test_dense_table(self, tmp_path):
+        store = _filled_store(tmp_path)
+        table = pivot(select(store), index="seed", columns="point",
+                      value="value")
+        assert table["index"] == [1, 2, 3]
+        assert table["columns"] == ["p0", "p1"]
+        assert len(table["values"]) == 3
+        assert all(len(row) == 2 for row in table["values"])
+        assert all(v is not None for row in table["values"] for v in row)
+
+    def test_holes_are_none(self, tmp_path):
+        store = _filled_store(tmp_path)
+        records = [
+            r for r in select(store)
+            if not (r.point == "p1" and r.params["seed"] == 2)
+        ]
+        table = pivot(records, index="seed", columns="point", value="value")
+        assert table["values"][1][1] is None
+
+    def test_ambiguous_cell_raises(self, tmp_path):
+        store = _filled_store(tmp_path)
+        with pytest.raises(QueryError, match="ambiguous"):
+            # Collapsing all seeds onto one "experiment" column reuses cells.
+            pivot(select(store), index="point", columns="experiment",
+                  value="value")
+
+
+class TestPercentiles:
+    def test_groups_and_quantiles(self, tmp_path):
+        store = _filled_store(tmp_path, seeds=(1, 2, 3, 4, 5))
+        stats = percentiles(select(store), value="value", over="seed")
+        assert [entry["point"] for entry in stats] == ["p0", "p1"]
+        for entry in stats:
+            assert entry["n"] == 5
+            assert "seed" not in entry["params"]
+            assert entry["p5"] <= entry["p50"] <= entry["p95"]
+
+    def test_median_matches_numpy(self, tmp_path):
+        import numpy as np
+
+        store = _filled_store(tmp_path, seeds=(1, 2, 3, 4, 5))
+        records = [r for r in select(store) if r.point == "p0"]
+        stats = percentiles(records, value="value", over="seed", qs=(50,))
+        samples = sorted(r.values["value"] for r in records)
+        assert stats[0]["p50"] == float(np.percentile(samples, 50))

@@ -1,0 +1,152 @@
+"""Design-space expansion: determinism, fingerprints, spec validation."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.space import (
+    DesignSpace,
+    SpaceError,
+    expand,
+    job_fingerprint,
+    load_space,
+    space_from_dict,
+)
+
+
+class TestFingerprint:
+    def test_param_order_irrelevant(self):
+        a = job_fingerprint("selftest", {"seed": 1, "n_points": 2}, "p0")
+        b = job_fingerprint("selftest", {"n_points": 2, "seed": 1}, "p0")
+        assert a == b
+
+    def test_content_sensitive(self):
+        base = job_fingerprint("selftest", {"seed": 1}, "p0")
+        assert job_fingerprint("selftest", {"seed": 2}, "p0") != base
+        assert job_fingerprint("selftest", {"seed": 1}, "p1") != base
+        assert job_fingerprint("fig4", {"seed": 1}, "p0") != base
+
+    def test_stable_across_processes(self):
+        """The fingerprint is content-addressed, not hash-seed-addressed."""
+        local = job_fingerprint("fig4", {"fast": True, "seed": 2018}, "x")
+        script = (
+            "from repro.grid.space import job_fingerprint;"
+            "print(job_fingerprint('fig4', {'fast': True, 'seed': 2018}, 'x'))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == local
+
+
+class TestExpansion:
+    def _space(self, **overrides):
+        document = {
+            "experiment": "selftest",
+            "base": {"n_points": 2},
+            "axes": {"seed": [1, 2, 3]},
+            "points": "all",
+        }
+        document.update(overrides)
+        return space_from_dict(document)
+
+    def test_expands_product(self):
+        jobs = expand(self._space())
+        assert len(jobs) == 6  # 3 seeds x 2 points
+        assert [j.fingerprint for j in jobs] == sorted(
+            j.fingerprint for j in jobs
+        )
+
+    def test_points_subset(self):
+        jobs = expand(self._space(points=["p1"]))
+        assert len(jobs) == 3
+        assert all(j.point == "p1" for j in jobs)
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(SpaceError, match="unknown points"):
+            expand(self._space(points=["p7"]))
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SpaceError, match="unknown experiment"):
+            expand(self._space(experiment="fig99"))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SpaceError, match="rejected params"):
+            expand(self._space(base={"n_points": 2, "bogus_knob": 1}))
+
+    def test_filter_prunes(self):
+        jobs = expand(self._space(filter="seed != 2"))
+        assert sorted({j.param_dict["seed"] for j in jobs}) == [1, 3]
+
+    def test_broken_filter_raises(self):
+        with pytest.raises(SpaceError, match="filter"):
+            expand(self._space(filter="seed +"))
+
+    def test_include_adds_point(self):
+        jobs = expand(self._space(include=[{"seed": 99}]))
+        assert 99 in {j.param_dict["seed"] for j in jobs}
+        assert len(jobs) == 8
+
+    def test_include_dedups_against_axes(self):
+        jobs = expand(self._space(include=[{"seed": 1}]))
+        assert len(jobs) == 6  # seed=1 already in the axis
+
+    @given(
+        order=st.permutations(["seed", "n_points"]),
+        seed_order=st.permutations([1, 2, 3]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_expansion_order_independent(self, order, seed_order):
+        """Axis insertion order and value order never change the plan."""
+        axes = {"seed": list(seed_order), "n_points": [2, 3]}
+        space = DesignSpace(
+            experiment="selftest",
+            axes={name: axes[name] for name in order},
+        )
+        reference = DesignSpace(
+            experiment="selftest",
+            axes={"seed": [1, 2, 3], "n_points": [2, 3]},
+        )
+        assert expand(space) == expand(reference)
+
+
+class TestSpecFiles:
+    def test_load_space(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({
+            "experiment": "selftest", "axes": {"seed": [1]},
+        }))
+        space = load_space(path)
+        assert space.experiment == "selftest"
+        assert space.name == "s"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpaceError, match="unknown design-space keys"):
+            space_from_dict({"experiment": "selftest", "axis": {}})
+
+    def test_scalar_axis_rejected(self):
+        with pytest.raises(SpaceError, match="must list its values"):
+            space_from_dict({"experiment": "selftest", "axes": {"seed": 1}})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpaceError, match="has no values"):
+            space_from_dict({"experiment": "selftest", "axes": {"seed": []}})
+
+    def test_bad_points_rejected(self):
+        with pytest.raises(SpaceError, match="points must be"):
+            space_from_dict({"experiment": "selftest", "points": "some"})
+
+    def test_repo_spec_files_expand(self):
+        """Every shipped experiments/*.json spec plans successfully."""
+        from pathlib import Path
+
+        spec_dir = Path(__file__).resolve().parents[2] / "experiments"
+        specs = sorted(spec_dir.glob("*_grid.json"))
+        assert specs, "no grid specs shipped under experiments/"
+        for spec in specs:
+            jobs = expand(load_space(spec))
+            assert jobs, f"{spec.name} expanded to an empty grid"

@@ -49,7 +49,9 @@ class TestExperimentSweepUnit:
             pytest.fail("interrupt must leave the loop")  # pragma: no cover
         assert sweep.interrupted
         resumed = ExperimentSweep("unit", tmp_path)
-        assert resumed._points == {"a": {"value": 1.0}}
+        assert resumed._points == {
+            "a": {"fingerprint": None, "values": {"value": 1.0}}
+        }
 
     def test_no_checkpoint_dir_is_stateless(self):
         sweep = ExperimentSweep("unit")
